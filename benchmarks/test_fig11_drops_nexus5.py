@@ -1,0 +1,36 @@
+"""Figure 11: average frame drops on the Nexus 5 (2 GB).
+
+Paper: lower but significant drops relative to the Nokia 1 — no drops
+at 30 FPS up to 480p; at 60 FPS with high resolutions significant
+drops (e.g., 17% at 1080p under Critical).
+"""
+
+from repro.experiments import video_experiments
+from .conftest import print_header
+
+
+def effective(cell):
+    rates = [r.effective_drop_rate for r in cell.results]
+    return sum(rates) / len(rates)
+
+
+def test_fig11_drops_nexus5(benchmark):
+    grid = benchmark.pedantic(
+        video_experiments.fig11_drops_nexus5,
+        kwargs={"duration_s": 25.0, "repetitions": 3},
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 11 — frame drops on Nexus 5")
+    for row in video_experiments.summarize_drop_grid(grid):
+        print("  " + row)
+
+    # No drops at 30 FPS low resolutions, any pressure level's survivors.
+    for res in ("240p", "360p", "480p"):
+        assert grid[(res, 30, "normal")].stats.mean_drop_rate < 0.02
+    # 60 FPS high-resolution under pressure degrades.
+    assert (
+        effective(grid[("1080p", 60, "critical")])
+        > effective(grid[("1080p", 60, "normal")])
+    )
+    # The Nexus 5 is healthier than a Nokia 1 at Normal high-res.
+    assert grid[("1080p", 60, "normal")].stats.mean_drop_rate < 0.2

@@ -1,0 +1,47 @@
+"""Figure 12: rendering performance across five video genres (Nexus 5).
+
+Paper: all five genres (travel, sports, gaming, news, nature) show the
+same trend — negligible drops at 30 FPS, significant drops at 60 FPS
+that grow with pressure and resolution.
+"""
+
+from repro.experiments import video_experiments
+from .conftest import print_header
+
+
+def effective(cell):
+    rates = [r.effective_drop_rate for r in cell.results]
+    return sum(rates) / len(rates)
+
+
+def test_fig12_genres(benchmark):
+    grid = benchmark.pedantic(
+        video_experiments.fig12_genres,
+        kwargs={
+            "duration_s": 20.0,
+            "repetitions": 2,
+            "pressures": ("normal", "critical"),
+        },
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 12 — drops across genres (Nexus 5)")
+    genres = sorted({genre for genre, _, _, _ in grid})
+    for genre in genres:
+        parts = []
+        for res in ("480p", "720p", "1080p"):
+            for fps in (30, 60):
+                cell = grid[(genre, res, fps, "critical")]
+                parts.append(f"{res}@{fps}:{effective(cell) * 100:5.1f}%")
+        print(f"  {genre:8s} critical  " + "  ".join(parts))
+
+    for genre in genres:
+        # 30 FPS at Normal: low or negligible drops for every genre.
+        for res in ("480p", "720p", "1080p"):
+            assert grid[(genre, res, 30, "normal")].stats.mean_drop_rate < 0.05, (
+                genre, res
+            )
+        # Pressure degrades the 60 FPS high-resolution cell.
+        assert (
+            effective(grid[(genre, "1080p", 60, "critical")])
+            > effective(grid[(genre, "1080p", 60, "normal")])
+        ), genre

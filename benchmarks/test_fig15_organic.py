@@ -1,0 +1,32 @@
+"""Figure 15: rendered FPS and process kills under organic pressure.
+
+Paper: with 8 background applications (organic Moderate), many more
+processes are killed during the video run than with none, and the
+rendered FPS suffers.
+"""
+
+from repro.experiments import trace_experiments
+from .conftest import print_header
+
+
+def test_fig15_organic(benchmark):
+    runs = benchmark.pedantic(
+        trace_experiments.fig15_organic_timeline,
+        kwargs={"duration_s": 30.0},
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 15 — FPS and kills, organic pressure")
+    for name, run in runs.items():
+        kills = len(run.kill_events)
+        fps = run.fps_series()
+        mean_fps = sum(fps) / len(fps) if fps else 0.0
+        print(f"  {name:16s} kills={kills:3d}  mean rendered FPS={mean_fps:5.1f}")
+
+    organic = runs["organic_moderate"]
+    baseline = runs["normal"]
+    assert len(organic.kill_events) > len(baseline.kill_events)
+    organic_fps = organic.fps_series()
+    baseline_fps = baseline.fps_series()
+    assert organic_fps and baseline_fps
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(organic_fps) <= mean(baseline_fps) + 1.0

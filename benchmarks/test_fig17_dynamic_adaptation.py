@@ -1,0 +1,38 @@
+"""Figure 17: frame-rate switching under Moderate organic pressure.
+
+Paper (Nokia 1, 480p, organic pressure): at 60 FPS there are
+significant FPS drops; switching to 24 FPS mitigates the losses; 48 FPS
+sits in between.
+"""
+
+from repro.experiments import adaptation_experiments
+from .conftest import print_header
+
+
+def mean(xs):
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def test_fig17_dynamic_adaptation(benchmark):
+    run = benchmark.pedantic(
+        adaptation_experiments.fig17_dynamic_adaptation,
+        kwargs={"duration_s": 36.0, "organic_apps": 8},
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 17 — 60 -> 24 -> 48 FPS under organic pressure")
+    print(f"  rendered FPS: {[round(x) for x in run.fps_series]}")
+    print(f"  switches: {run.switch_log}")
+
+    series = run.fps_series
+    third = len(series) // 3
+    phase60 = mean(series[1:third])
+    phase24 = mean(series[third + 1:2 * third])
+    phase48 = mean(series[2 * third + 1:-1])
+    print(f"  mean rendered: 60FPS-phase {phase60:.1f}, "
+          f"24FPS-phase {phase24:.1f}, 48FPS-phase {phase48:.1f}")
+
+    assert not run.crashed
+    # Delivery efficiency (rendered / encoded) recovers at 24 FPS.
+    assert phase24 / 24.0 >= phase60 / 60.0 - 0.05
+    assert phase24 > 15.0
+    assert run.switch_log, "the scheduled switches never happened"

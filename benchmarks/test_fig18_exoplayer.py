@@ -1,0 +1,51 @@
+"""Figure 18 (Appendix B.1): ExoPlayer on the Nexus 5.
+
+Paper: ExoPlayer drops significantly fewer frames than Firefox (lower
+memory footprint) but still suffers crashes under high pressure.
+"""
+
+from repro.experiments import video_experiments
+from .conftest import print_header
+
+
+def test_fig18_exoplayer(benchmark):
+    grids = benchmark.pedantic(
+        lambda: (
+            video_experiments.fig18_exoplayer(
+                duration_s=20.0, repetitions=2,
+                pressures=("normal", "critical"), frame_rates=(60,),
+            ),
+            video_experiments.drop_grid(
+                "nexus5", resolutions=("480p", "720p", "1080p"),
+                frame_rates=(60,), pressures=("normal", "critical"),
+                duration_s=20.0, repetitions=2,
+            ),
+        ),
+        rounds=1, iterations=1,
+    )
+    exo, firefox = grids
+    print_header("Figure 18 — ExoPlayer vs Firefox (Nexus 5)")
+    for key in sorted(exo):
+        res, fps, pressure = key
+        e, f = exo[key].stats, firefox[key].stats
+        print(
+            f"  {res:>6}@{fps} {pressure:<9} "
+            f"exo drop {e.mean_drop_rate * 100:5.1f}% crash {e.crash_rate * 100:5.1f}%"
+            f"   firefox drop {f.mean_drop_rate * 100:5.1f}% crash {f.crash_rate * 100:5.1f}%"
+        )
+
+    # ExoPlayer's footprint advantage: under Critical pressure it drops
+    # no more than Firefox (usually fewer) at each cell.
+    def total_badness(grid):
+        return sum(
+            cell.stats.mean_drop_rate + cell.stats.crash_rate
+            for key, cell in grid.items()
+            if key[2] == "critical"
+        )
+
+    assert total_badness(exo) <= total_badness(firefox) + 0.3
+    # ...but pressure still degrades it at the heaviest encoding.  (In
+    # the paper ExoPlayer also crashes under high pressure; our native
+    # foreground-process model survives more often — see EXPERIMENTS.md.)
+    heavy = exo[("1080p", 60, "critical")].stats
+    assert heavy.mean_drop_rate > 0.1 or heavy.crash_rate > 0

@@ -1,0 +1,42 @@
+"""Figure 19 (Appendix B.2): Chrome on the Nexus 5.
+
+Paper: Chrome drops fewer frames than Firefox (it is more memory
+efficient) but also suffers significant crashes under high pressure.
+"""
+
+from repro.experiments import video_experiments
+from .conftest import print_header
+
+
+def test_fig19_chrome(benchmark):
+    chrome = benchmark.pedantic(
+        video_experiments.fig19_chrome,
+        kwargs={
+            "duration_s": 20.0, "repetitions": 2,
+            "pressures": ("normal", "critical"), "frame_rates": (60,),
+        },
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 19 — Chrome on Nexus 5")
+    for key in sorted(chrome):
+        res, fps, pressure = key
+        stats = chrome[key].stats
+        print(
+            f"  {res:>6}@{fps} {pressure:<9} "
+            f"drop {stats.mean_drop_rate * 100:5.1f}% "
+            f"crash {stats.crash_rate * 100:5.1f}% "
+            f"pss {stats.mean_pss_mb:6.1f} MB"
+        )
+
+    # Chrome is clean at Normal...
+    for key, cell in chrome.items():
+        if key[2] == "normal":
+            assert cell.stats.mean_drop_rate < 0.05
+            assert cell.stats.crash_rate == 0.0
+    # ...but still crashes under Critical pressure (the paper's point:
+    # a lower footprint helps yet does not prevent kills).
+    assert any(
+        cell.stats.crash_rate > 0
+        for key, cell in chrome.items()
+        if key[2] == "critical"
+    )

@@ -1,0 +1,25 @@
+"""Figure 1: how frequently users engage in activities (1-5 heatmaps).
+
+Paper: streaming videos is the most frequent activity, followed by
+listening to music; multitasking with >1 background app is common.
+"""
+
+from repro.experiments import study_experiments
+from .conftest import print_header
+
+
+def test_fig1_usage_heatmap(benchmark):
+    survey = benchmark.pedantic(
+        study_experiments.fig1_usage_heatmap, kwargs={"seed": 0},
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 1 — usage-frequency heatmaps (48 respondents)")
+    for question in survey.responses:
+        histogram = survey.histogram(question)
+        row = " ".join(f"{histogram[s]:3d}" for s in range(1, 6))
+        print(f"  {question:26s} [1..5]: {row}   mean={survey.mean_rating(question):.2f}")
+
+    order = survey.activity_order()
+    assert order[0] == "streaming_videos"
+    assert order[1] == "listening_music"
+    assert survey.mean_rating("more_than_one_bg_app") > 3.0

@@ -1,0 +1,29 @@
+"""Figure 2: CDF of median RAM utilization across devices.
+
+Paper: 80% of devices had a median utilization of at least 60%; 20%
+exceeded 75%.
+"""
+
+import numpy as np
+
+from repro.experiments import study_experiments
+from .conftest import print_header
+
+
+def test_fig2_ram_cdf(benchmark, study_devices):
+    cdf = benchmark.pedantic(
+        study_experiments.fig2_utilization_cdf, args=(study_devices,),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 2 — CDF of median RAM utilization")
+    values = np.array([v for v, _ in cdf])
+    for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+        print(f"  p{int(q * 100):02d} median-util = {np.quantile(values, q):.2f}")
+    ge60 = float((values >= 0.60).mean())
+    gt75 = float((values > 0.75).mean())
+    print(f"  fraction >= 60%: {ge60:.2f}   (paper: 0.80)")
+    print(f"  fraction >  75%: {gt75:.2f}   (paper: 0.20)")
+
+    assert cdf == sorted(cdf)
+    assert ge60 > 0.6
+    assert 0.05 < gt75 < 0.5

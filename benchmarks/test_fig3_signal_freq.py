@@ -1,0 +1,43 @@
+"""Figure 3: memory-pressure signals per hour versus device RAM.
+
+Paper: 63% of devices receive at least one signal/hour; 19% receive
+more than 10 Critical signals/hour; small devices dominate the high
+rates.
+"""
+
+import numpy as np
+
+from repro.experiments import study_experiments
+from repro.study.analysis import (
+    fraction_with_any_signal,
+    fraction_with_critical_over,
+)
+from .conftest import print_header
+
+
+def test_fig3_signal_freq(benchmark, study_devices):
+    rates = benchmark.pedantic(
+        study_experiments.fig3_signal_rates, args=(study_devices,),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 3 — signal frequency vs RAM size")
+    by_ram = {}
+    for r in rates:
+        by_ram.setdefault(r.ram_gb, []).append(r.total_per_hour)
+    for ram_gb in sorted(by_ram):
+        values = by_ram[ram_gb]
+        print(
+            f"  {ram_gb:.0f} GB (n={len(values):2d}): "
+            f"median {np.median(values):6.1f}/h  max {max(values):6.1f}/h"
+        )
+    any_rate = fraction_with_any_signal(rates)
+    crit_rate = fraction_with_critical_over(rates, 10.0)
+    print(f"  devices with >=1 signal/hour: {any_rate:.2f}  (paper: 0.63)")
+    print(f"  devices with >10 Critical/hour: {crit_rate:.2f}  (paper: 0.19)")
+
+    assert any_rate > 0.35
+    assert 0.05 <= crit_rate <= 0.45
+    # Small-RAM devices see more pressure than the largest ones.
+    small = np.median(by_ram.get(1.0, by_ram[min(by_ram)]))
+    large = np.median(by_ram[max(by_ram)])
+    assert small >= large

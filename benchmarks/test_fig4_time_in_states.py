@@ -1,0 +1,35 @@
+"""Figure 4: fraction of time spent in memory-pressure states.
+
+Paper: 27% of devices spent >=2% of time in Moderate; 10% spent >4% in
+Critical; two devices spent >40% of time in Critical.
+"""
+
+from repro.experiments import study_experiments
+from .conftest import print_header
+
+
+def test_fig4_time_in_states(benchmark, study_devices):
+    rows = benchmark.pedantic(
+        study_experiments.fig4_time_in_states, args=(study_devices,),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 4 — % time in pressure states vs RAM")
+    worst = sorted(rows, key=lambda r: r["high_total"], reverse=True)[:8]
+    for row in worst:
+        print(
+            f"  {row['device_id']} {row['ram_gb']:.0f}GB  "
+            f"moderate {row['moderate'] * 100:5.1f}%  "
+            f"low {row['low'] * 100:5.1f}%  "
+            f"critical {row['critical'] * 100:5.1f}%"
+        )
+    n = len(rows)
+    frac_mod2 = sum(1 for r in rows if r["moderate"] >= 0.02) / n
+    frac_crit4 = sum(1 for r in rows if r["critical"] > 0.04) / n
+    print(f"  devices with >=2% Moderate time: {frac_mod2:.2f}  (paper: 0.27)")
+    print(f"  devices with >4% Critical time: {frac_crit4:.2f}  (paper: 0.10)")
+
+    assert 0.1 <= frac_mod2 <= 0.5
+    assert 0.02 <= frac_crit4 <= 0.3
+    for row in rows:
+        total = row["normal"] + row["moderate"] + row["low"] + row["critical"]
+        assert abs(total - 1.0) < 1e-6

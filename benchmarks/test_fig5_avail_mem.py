@@ -1,0 +1,38 @@
+"""Figure 5: available memory by pressure state, top-5 pressure devices.
+
+Paper: mean available memory is lowest at Critical, then Low, then
+Moderate; thresholds differ across devices (vendor/RAM effects); each
+state shows a significant spread.
+"""
+
+from repro.experiments import study_experiments
+from .conftest import print_header
+
+ORDER = ("moderate", "low", "critical")
+
+
+def test_fig5_avail_mem(benchmark, study_devices):
+    table = benchmark.pedantic(
+        study_experiments.fig5_available_by_state, args=(study_devices,),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 5 — available memory by state (top-5 devices)")
+    orderings_ok = 0
+    comparisons = 0
+    for device_id, summary in table.items():
+        parts = []
+        for state in ("normal",) + ORDER:
+            if state in summary:
+                parts.append(f"{state[:4]} {summary[state]['mean']:6.0f}MB")
+        print(f"  {device_id}: " + "  ".join(parts))
+        for higher, lower in zip(ORDER, ORDER[1:]):
+            if higher in summary and lower in summary:
+                comparisons += 1
+                if summary[lower]["mean"] <= summary[higher]["mean"]:
+                    orderings_ok += 1
+
+    assert len(table) == 5
+    # The severity ordering holds for the (large) majority of pairs —
+    # the paper itself notes one exception device.
+    assert comparisons > 0
+    assert orderings_ok / comparisons >= 0.7

@@ -1,0 +1,33 @@
+"""Figure 6: transitions between memory-pressure states.
+
+Paper: after Critical, devices move to Low 67.2% of the time and back
+to Normal only 13.6%; high-pressure states persist (dwell p75 ~10-13 s
+before the next transition).
+"""
+
+from repro.experiments import study_experiments
+from .conftest import print_header
+
+
+def test_fig6_transitions(benchmark, study_devices):
+    stats = benchmark.pedantic(
+        study_experiments.fig6_transitions, args=(study_devices,),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 6 — state transitions and dwell times")
+    for state, row in stats.items():
+        nexts = "  ".join(
+            f"->{name}:{pct:5.1f}%" for name, pct in row["next"].items()
+        )
+        print(
+            f"  {state:9s} {nexts}   dwell p25/p50/p75 = "
+            f"{row['dwell_p25_s']:.0f}/{row['dwell_median_s']:.0f}/"
+            f"{row['dwell_p75_s']:.0f} s  (n={row['episodes']})"
+        )
+
+    critical = stats.get("critical")
+    assert critical is not None, "no device reached Critical"
+    next_critical = critical["next"]
+    # Adjacent-state moves dominate; direct return to Normal is rare.
+    assert next_critical.get("low", 0) > next_critical.get("normal", 0)
+    assert critical["dwell_p75_s"] >= 2.0

@@ -1,0 +1,39 @@
+"""Figure 8: client PSS versus resolution and encoded frame rate.
+
+Paper (Nexus 5, Firefox, no pressure): PSS rises ~125 MB from 240p to
+1080p (~31 MB per rung) and ~20 MB going from 30 to 60 FPS.
+"""
+
+from repro.experiments import video_experiments
+from .conftest import print_header
+
+
+def test_fig8_pss(benchmark):
+    table = benchmark.pedantic(
+        video_experiments.fig8_pss_by_encoding,
+        kwargs={"duration_s": 40.0, "repetitions": 2},
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 8 — PSS vs resolution and frame rate (Nexus 5)")
+    for (resolution, fps), row in sorted(
+        table.items(), key=lambda kv: (kv[0][1], list(table).index(kv[0]))
+    ):
+        print(
+            f"  {resolution:>6}@{fps:<2} mean {row['mean_mb']:6.1f} MB  "
+            f"[{row['min_mb']:6.1f}, {row['max_mb']:6.1f}]"
+        )
+
+    rise_resolution = table[("1080p", 30)]["mean_mb"] - table[("240p", 30)]["mean_mb"]
+    rise_fps = table[("1080p", 60)]["mean_mb"] - table[("1080p", 30)]["mean_mb"]
+    print(f"  240p->1080p @30FPS: +{rise_resolution:.0f} MB  (paper: +125 MB)")
+    print(f"  30->60 FPS @1080p:  +{rise_fps:.0f} MB   (paper: ~+20 MB mean)")
+
+    # PSS increases monotonically with resolution at both frame rates.
+    for fps in (30, 60):
+        means = [
+            table[(res, fps)]["mean_mb"]
+            for res in ("240p", "360p", "480p", "720p", "1080p", "1440p")
+        ]
+        assert means == sorted(means)
+    assert rise_resolution > 50
+    assert rise_fps > 5

@@ -1,0 +1,52 @@
+"""Figure 9: average frame drops on the Nokia 1 (1 GB).
+
+Paper: drop rate rises with memory pressure (1080p30: 19% Normal, 53%
+Moderate, ~100% Critical), with resolution, and with frame rate; under
+Critical the video is unplayable or the client crashes.
+"""
+
+from repro.experiments import video_experiments
+from .conftest import print_header
+
+
+def effective(cell):
+    """Drop rate counting crash-truncated sessions as fully dropped."""
+    rates = [r.effective_drop_rate for r in cell.results]
+    return sum(rates) / len(rates)
+
+
+def test_fig9_drops_nokia1(benchmark):
+    grid = benchmark.pedantic(
+        video_experiments.fig9_drops_nokia1,
+        kwargs={"duration_s": 25.0, "repetitions": 3},
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 9 — frame drops on Nokia 1")
+    for row in video_experiments.summarize_drop_grid(grid):
+        print("  " + row)
+
+    def drop(res, fps, pressure):
+        return grid[(res, fps, pressure)].stats.mean_drop_rate
+
+    def crash(res, fps, pressure):
+        return grid[(res, fps, pressure)].stats.crash_rate
+
+    # Pressure effect at every 30 FPS resolution >= 480p (drop or crash).
+    for res in ("480p", "720p", "1080p"):
+        worse = (
+            effective(grid[(res, 30, "critical")])
+            >= effective(grid[(res, 30, "normal")])
+        )
+        assert worse, res
+    # Resolution effect under Moderate pressure.
+    assert (
+        effective(grid[("1080p", 30, "moderate")])
+        > effective(grid[("240p", 30, "moderate")])
+    )
+    # Frame-rate effect: 60 FPS drops more than 30 FPS at 720p Moderate.
+    assert (
+        effective(grid[("720p", 60, "moderate")])
+        >= effective(grid[("720p", 30, "moderate")])
+    )
+    # Critical is unplayable or crashes at high resolutions.
+    assert crash("1080p", 30, "critical") == 1.0

@@ -1,0 +1,36 @@
+"""Table 1 (user-study rows): headline §3 statistics.
+
+Paper: 63% of devices saw some memory pressure; 19% received >10
+Critical signals/hour; 10% spent >50% of time in high-pressure states;
+35% spent >=2% of time there; 80% had median utilization >= 60%.
+"""
+
+from repro.experiments import study_experiments
+from .conftest import print_header
+
+PAPER = {
+    "frac_median_util_ge_60": 0.80,
+    "frac_any_signal_per_hour": 0.63,
+    "frac_critical_gt_10_per_hour": 0.19,
+    "frac_high_time_gt_50pct": 0.10,
+    "frac_moderate_ge_2pct": 0.27,
+    "frac_critical_gt_4pct": 0.10,
+}
+
+
+def test_table1_summary(benchmark, study_devices):
+    summary = benchmark.pedantic(
+        study_experiments.table1_summary, args=(study_devices,),
+        rounds=1, iterations=1,
+    )
+    print_header("Table 1 — user-study summary (measured vs paper)")
+    for key, value in summary.items():
+        paper = PAPER.get(key)
+        suffix = f"   (paper: {paper:.2f})" if paper is not None else ""
+        print(f"  {key:36s} {value:6.3f}{suffix}")
+
+    # Qualitative claims (§3).
+    assert summary["frac_median_util_ge_60"] > 0.6
+    assert summary["frac_any_signal_per_hour"] > 0.35
+    assert 0.05 <= summary["frac_critical_gt_10_per_hour"] <= 0.45
+    assert summary["frac_high_time_gt_50pct"] <= 0.25

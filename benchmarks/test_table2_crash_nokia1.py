@@ -1,0 +1,39 @@
+"""Table 2: video-client crash rates on the Nokia 1.
+
+Paper: 0% crashes at Normal everywhere; Moderate crashes 40% (480p30)
+to 100% (720p); Critical crashes 100% everywhere.
+"""
+
+from repro.experiments import video_experiments
+from .conftest import print_header
+
+
+def test_table2_crash_nokia1(benchmark):
+    table = benchmark.pedantic(
+        video_experiments.table2_crash_nokia1,
+        kwargs={"duration_s": 25.0, "repetitions": 5},
+        rounds=1, iterations=1,
+    )
+    print_header("Table 2 — crash rates on Nokia 1 (paper in parens)")
+    paper = {
+        (30, "480p"): (0, 40, 100), (30, "720p"): (0, 100, 100),
+        (60, "480p"): (0, 40, 100), (60, "720p"): (0, 100, 100),
+    }
+    for (fps, res) in video_experiments.TABLE2_CELLS:
+        row = [table[(fps, res, p)] * 100 for p in ("normal", "moderate", "critical")]
+        expect = paper[(fps, res)]
+        print(
+            f"  {fps}FPS {res:>5}: normal {row[0]:5.1f}% ({expect[0]})  "
+            f"moderate {row[1]:5.1f}% ({expect[1]})  "
+            f"critical {row[2]:5.1f}% ({expect[2]})"
+        )
+
+    for fps, res in video_experiments.TABLE2_CELLS:
+        assert table[(fps, res, "normal")] == 0.0
+        assert table[(fps, res, "critical")] == 1.0
+        assert table[(fps, res, "moderate")] >= table[(fps, res, "normal")]
+    # Moderate pressure crashes at least part of the time somewhere.
+    assert any(
+        table[(fps, res, "moderate")] > 0
+        for fps, res in video_experiments.TABLE2_CELLS
+    )

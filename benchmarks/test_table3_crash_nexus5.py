@@ -1,0 +1,41 @@
+"""Table 3: video-client crash rates on the Nexus 5.
+
+Paper: Normal never crashes; Moderate crashes at high-memory encodings
+(100% at 1080p30 and 720p60); Critical crashes most cells.
+"""
+
+from repro.experiments import video_experiments
+from .conftest import print_header
+
+
+def test_table3_crash_nexus5(benchmark):
+    table = benchmark.pedantic(
+        video_experiments.table3_crash_nexus5,
+        kwargs={"duration_s": 25.0, "repetitions": 5},
+        rounds=1, iterations=1,
+    )
+    print_header("Table 3 — crash rates on Nexus 5 (paper in parens)")
+    paper = {
+        (30, "720p"): (0, 10, 100), (30, "1080p"): (0, 100, 100),
+        (60, "480p"): (0, 0, 70), (60, "720p"): (0, 100, 100),
+    }
+    for fps, res in video_experiments.TABLE3_CELLS:
+        row = [table[(fps, res, p)] * 100 for p in ("normal", "moderate", "critical")]
+        expect = paper[(fps, res)]
+        print(
+            f"  {fps}FPS {res:>5}: normal {row[0]:5.1f}% ({expect[0]})  "
+            f"moderate {row[1]:5.1f}% ({expect[1]})  "
+            f"critical {row[2]:5.1f}% ({expect[2]})"
+        )
+
+    for fps, res in video_experiments.TABLE3_CELLS:
+        assert table[(fps, res, "normal")] == 0.0
+        # Pressure crashes a substantial share of runs (our simulated
+        # Nexus 5 is somewhat more resilient than the paper's — see
+        # EXPERIMENTS.md), and severity orders correctly.
+        assert table[(fps, res, "critical")] >= 0.3
+        assert table[(fps, res, "moderate")] <= table[(fps, res, "critical")]
+    assert any(
+        table[(fps, res, "critical")] >= 0.6
+        for fps, res in video_experiments.TABLE3_CELLS
+    )

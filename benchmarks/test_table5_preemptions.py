@@ -1,0 +1,35 @@
+"""Table 5: mmcqd preempting video client threads.
+
+Paper (Normal -> Moderate): preemption count rose 26.6x, the time
+mmcqd ran after each preemption rose 16.8x, and the time video threads
+waited to get the CPU back rose 27.5x.
+"""
+
+from repro.experiments import trace_experiments
+from .conftest import print_header
+
+
+def test_table5_preemptions(benchmark):
+    table = benchmark.pedantic(
+        trace_experiments.table5_preemptions,
+        kwargs={"duration_s": 25.0},
+        rounds=1, iterations=1,
+    )
+    print_header("Table 5 — mmcqd preemptions of video threads")
+    for pressure in ("normal", "moderate"):
+        stats = table[pressure]
+        if stats is None:
+            print(f"  {pressure:9s} (no mmcqd preemptions)")
+            continue
+        print(
+            f"  {pressure:9s} count {stats.count:6d}  "
+            f"victor-run total {stats.total_victor_run_s:7.3f} s  "
+            f"victim-wait total {stats.total_victim_wait_s:7.3f} s"
+        )
+
+    moderate = table["moderate"]
+    assert moderate is not None, "no mmcqd preemptions under Moderate"
+    normal_count = table["normal"].count if table["normal"] else 0
+    assert moderate.count > normal_count
+    normal_wait = table["normal"].total_victim_wait_s if table["normal"] else 0.0
+    assert moderate.total_victim_wait_s > normal_wait

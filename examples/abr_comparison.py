@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""ABR algorithms under a *joint* network + memory bottleneck.
+
+Classic ABR adapts to the network only.  This example streams over a
+variable-throughput trace (a commute-style 1-8 Mbps WiFi/LTE mix) on an
+entry-level phone under Moderate memory pressure, comparing:
+
+* rate-based ABR (throughput rule),
+* buffer-based ABR (BBA),
+* BOLA,
+* each of the above wrapped in :class:`MemoryAwareAbr`.
+
+Network-only controllers pick rungs the *network* can carry but the
+*device* cannot decode or hold in memory; the memory-aware wrapper caps
+the frame rate and resolution on OnTrimMemory signals and keeps the
+session alive.
+
+Usage::
+
+    python examples/abr_comparison.py
+"""
+
+from repro.core.abr import BolaAbr, BufferBasedAbr, MemoryAwareAbr, RateBasedAbr
+from repro.core.qoe import linear_qoe, summarize
+from repro.core.session import StreamingSession
+from repro.video.encoding import GENRES, VideoAsset
+from repro.video.network import TraceLink
+
+DURATION_S = 40.0
+
+#: A bandwidth trace: fast WiFi with a mid-session dip (seconds, Mbps).
+#: The network is mostly *not* the bottleneck — the device is.
+NETWORK_TRACE = [
+    (0.0, 40.0), (12.0, 6.0), (18.0, 40.0),
+]
+
+CONTROLLERS = [
+    ("rate-based", lambda: RateBasedAbr()),
+    ("buffer-based", lambda: BufferBasedAbr()),
+    ("BOLA", lambda: BolaAbr()),
+    ("rate + memory-aware", lambda: MemoryAwareAbr(inner=RateBasedAbr())),
+    ("BBA  + memory-aware", lambda: MemoryAwareAbr(inner=BufferBasedAbr())),
+    ("BOLA + memory-aware", lambda: MemoryAwareAbr(inner=BolaAbr())),
+]
+
+
+def run(abr_factory):
+    asset = VideoAsset(
+        "Dubai Flow Motion in 4K", GENRES["travel"], DURATION_S,
+        resolutions=("240p", "360p", "480p", "720p", "1080p"),
+        frame_rates=(24, 48, 60),
+    )
+    session = StreamingSession(
+        device="nokia1",
+        asset=asset,
+        resolution="360p",
+        frame_rate=60,
+        pressure="moderate",
+        duration_s=DURATION_S,
+        seed=11,
+        abr=abr_factory(),
+    )
+    session.player.server.link = TraceLink(NETWORK_TRACE, rtt_ms=25.0)
+    return session.run()
+
+
+def main() -> None:
+    print("Variable network + Moderate memory pressure, Nokia 1\n")
+    print(f"{'controller':22s} {'drop':>7s} {'rebuf':>7s} {'MOS':>5s} "
+          f"{'linQoE':>7s}  outcome")
+    for name, factory in CONTROLLERS:
+        result = run(factory)
+        qoe = summarize(result)
+        outcome = (
+            f"CRASHED@{result.crash_time_s:.0f}s" if result.crashed else "completed"
+        )
+        print(f"{name:22s} {result.drop_rate * 100:6.1f}% "
+              f"{result.rebuffer_s:6.1f}s {qoe.mos:5.2f} "
+              f"{linear_qoe(result):7.2f}  {outcome}")
+    print(
+        "\nThe memory-aware wrapper trades encoded frame rate for survival:"
+        "\nnetwork-only controllers chase the bandwidth while the device"
+        "\nitself is the bottleneck — the paper's central argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The paper's §6 proposal, end to end: memory-aware ABR.
+
+Streams the same 480p/60FPS video on an entry-level phone under
+Moderate memory pressure twice:
+
+1. with a fixed encoding (what today's network-only ABR effectively
+   does once the network is provisioned), and
+2. with :class:`MemoryAwareAbr`, which listens to OnTrimMemory signals
+   and caps the encoded frame rate / resolution when pressure rises.
+
+Prints the rendered-FPS timelines side by side plus the QoE summary.
+
+Usage::
+
+    python examples/memory_aware_abr.py
+"""
+
+from repro.core import MemoryAwareAbr, StreamingSession
+from repro.video.encoding import GENRES, VideoAsset
+
+DURATION_S = 30.0
+
+
+def run(abr):
+    asset = VideoAsset(
+        "Dubai Flow Motion in 4K", GENRES["travel"], DURATION_S,
+        frame_rates=(24, 48, 60),
+    )
+    session = StreamingSession(
+        device="nokia1",
+        asset=asset,
+        resolution="480p",
+        frame_rate=60,
+        pressure="moderate",
+        duration_s=DURATION_S,
+        seed=5,
+        abr=abr,
+    )
+    return session.run()
+
+
+def main() -> None:
+    fixed = run(abr=None)
+    aware = run(abr=MemoryAwareAbr())
+
+    print("480p@60 on a Nokia 1 under Moderate memory pressure\n")
+    for name, result in (("fixed 60 FPS", fixed), ("memory-aware", aware)):
+        crash = f"  CRASHED at {result.crash_time_s:.1f}s" if result.crashed else ""
+        print(f"  {name:13s} drop {result.drop_rate * 100:5.1f}%  "
+              f"rendered {result.mean_rendered_fps:5.1f} FPS mean{crash}")
+        print(f"    FPS timeline: {[round(x) for x in result.fps_series]}")
+        if result.switch_log:
+            print(f"    switches: {result.switch_log}")
+    print(
+        "\nReacting to the OS's memory-pressure signals by dropping the "
+        "encoded frame rate keeps the video playable - the paper's §6."
+    )
+
+
+if __name__ == "__main__":
+    main()

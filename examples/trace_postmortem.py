@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""§5-style post-mortem: why did the video stutter?
+
+Profiles two playback sessions on an entry-level phone — Normal and
+Moderate memory pressure — with the Perfetto-analog trace recorder, and
+prints the paper's root-cause analysis: video-thread state times
+(Table 4), the busiest threads, kswapd's state breakdown (Figure 13),
+and mmcqd's preemptions of video threads (Table 5).
+
+Usage::
+
+    python examples/trace_postmortem.py
+"""
+
+from repro.experiments.trace_experiments import profiled_run
+from repro.sched.states import ThreadState
+
+
+def describe(run) -> None:
+    states = run.video_state_times()
+    print("  video client threads (seconds):")
+    for state in (ThreadState.RUNNING, ThreadState.RUNNABLE,
+                  ThreadState.RUNNABLE_PREEMPTED, ThreadState.UNINTERRUPTIBLE):
+        print(f"    {state.value:22s} {states[state]:7.2f}")
+    print("  busiest threads:")
+    for name, seconds in run.top_threads(limit=5):
+        print(f"    {name:24s} {seconds:6.2f} s running")
+    kswapd = run.kswapd_breakdown()
+    print(f"  kswapd: running {kswapd[ThreadState.RUNNING] * 100:4.1f}%  "
+          f"sleeping {kswapd[ThreadState.SLEEPING] * 100:4.1f}%")
+    mmcqd = run.mmcqd_preemptions()
+    if mmcqd:
+        print(f"  mmcqd preempted video threads {mmcqd.count} times; "
+              f"they waited {mmcqd.total_victim_wait_s:.3f}s to run again")
+    else:
+        print("  mmcqd never preempted a video thread")
+    print(f"  result: drop rate {run.result.drop_rate * 100:.1f}%"
+          + (f", CRASHED ({run.result.crash_reason})" if run.result.crashed else ""))
+
+
+def main() -> None:
+    for pressure in ("normal", "moderate"):
+        print(f"\n=== 480p@60 on Nokia 1, {pressure} memory pressure ===")
+        describe(profiled_run(pressure, duration_s=25.0, seed=11))
+    print(
+        "\nUnder pressure the video threads spend their time waiting -"
+        " preempted by mmcqd, fair-sharing with kswapd, or blocked on"
+        " refault I/O - exactly the paper's §5 diagnosis."
+    )
+
+
+if __name__ == "__main__":
+    main()

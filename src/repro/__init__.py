@@ -1,0 +1,31 @@
+"""repro — reproduction of "Coal Not Diamonds: How Memory Pressure Falters
+Mobile Video QoE" (CoNEXT 2022).
+
+The package simulates the full stack the paper measures on real hardware:
+
+* :mod:`repro.sim` — discrete-event engine.
+* :mod:`repro.kernel` — Android memory management (kswapd, lmkd, mmcqd,
+  zRAM, OnTrimMemory pressure signals).
+* :mod:`repro.sched` — multi-core preemptive priority scheduler.
+* :mod:`repro.device` — device integration (Nokia 1, Nexus 5, Nexus 6P).
+* :mod:`repro.video` — DASH streaming stack with a decode/render pipeline.
+* :mod:`repro.workload` — synthetic and organic memory-pressure workloads.
+* :mod:`repro.trace` — Perfetto-analog tracing and analysis.
+* :mod:`repro.study` — user-study population and survey models.
+* :mod:`repro.core` — the paper's contribution as a reusable library:
+  QoE metrics, memory-pressure signals for clients, memory-aware ABR, and
+  a one-call streaming-session API.
+* :mod:`repro.experiments` — harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro.core import StreamingSession
+    from repro.device import nexus5
+
+    session = StreamingSession(device=nexus5(), resolution="1080p",
+                               frame_rate=60, pressure="moderate", seed=1)
+    result = session.run()
+    print(result.frame_drop_rate, result.crashed)
+"""
+
+__version__ = "1.0.0"

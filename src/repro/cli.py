@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main entry points::
+
+    repro run    --device nokia1 --resolution 720p --fps 60 --pressure moderate
+    repro sweep  --devices nokia1,nexus5 --pressures normal,critical
+    repro study  --scale 0.15 --seed 3
+    repro trace  --pressure moderate --duration 25
+
+Every subcommand prints a human-readable report by default; ``--json``
+emits machine-readable output instead (for notebooks and dashboards).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+from .core.abr import MemoryAwareAbr
+from .core.qoe import summarize
+from .core.session import DEVICE_FACTORIES, StreamingSession
+from .experiments import study_experiments
+from .experiments.runner import run_cell
+from .experiments.trace_experiments import profiled_run
+from .sched.states import ThreadState
+from .video.encoding import RESOLUTION_ORDER, SUPPORTED_FRAME_RATES
+
+
+def _session_payload(result) -> Dict[str, Any]:
+    qoe = summarize(result)
+    return {
+        "device": result.device_name,
+        "client": result.client_name,
+        "resolution": result.resolution,
+        "fps": result.fps,
+        "frames_processed": result.frames_processed,
+        "frames_rendered": result.frames_rendered,
+        "drop_rate": round(result.drop_rate, 4),
+        "effective_drop_rate": round(result.effective_drop_rate, 4),
+        "crashed": result.crashed,
+        "crash_reason": result.crash_reason,
+        "crash_time_s": result.crash_time_s,
+        "rebuffer_s": round(result.rebuffer_s, 3),
+        "pss_mean_mb": round(result.pss_mean_mb, 1),
+        "mos": round(qoe.mos, 2),
+        "signals": [
+            (round(t, 2), level.name) for t, level in result.signals
+        ],
+    }
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    session = StreamingSession(
+        device=args.device,
+        resolution=args.resolution,
+        frame_rate=args.fps,
+        pressure=args.pressure,
+        client=args.client,
+        duration_s=args.duration,
+        seed=args.seed,
+        organic_apps=args.organic_apps,
+        abr=MemoryAwareAbr() if args.memory_aware_abr else None,
+    )
+    result = session.run()
+    payload = _session_payload(result)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{payload['device']} {payload['resolution']}@{payload['fps']} "
+          f"({args.pressure} pressure, {payload['client']})")
+    print(f"  rendered {payload['frames_rendered']}/{payload['frames_processed']} "
+          f"frames, drop rate {payload['drop_rate'] * 100:.1f}%, "
+          f"MOS {payload['mos']}")
+    print(f"  mean PSS {payload['pss_mean_mb']} MB, "
+          f"rebuffered {payload['rebuffer_s']} s")
+    if payload["crashed"]:
+        print(f"  CRASHED at {payload['crash_time_s']:.1f}s "
+              f"({payload['crash_reason']})")
+    if payload["signals"]:
+        print(f"  OnTrimMemory signals: {payload['signals']}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    devices = args.devices.split(",")
+    pressures = args.pressures.split(",")
+    resolutions = args.resolutions.split(",")
+    rows = []
+    for device in devices:
+        for resolution in resolutions:
+            for fps in args.fps:
+                for pressure in pressures:
+                    cell = run_cell(
+                        device=device, resolution=resolution, fps=fps,
+                        pressure=pressure, duration_s=args.duration,
+                        repetitions=args.reps,
+                    )
+                    stats = cell.stats
+                    rows.append({
+                        "device": device,
+                        "resolution": resolution,
+                        "fps": fps,
+                        "pressure": pressure,
+                        "mean_drop_rate": round(stats.mean_drop_rate, 4),
+                        "drop_rate_ci": round(stats.drop_rate_ci, 4),
+                        "crash_rate": round(stats.crash_rate, 4),
+                        "mean_pss_mb": round(stats.mean_pss_mb, 1),
+                    })
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
+        print(f"{row['device']:8s} {row['resolution']:>6}@{row['fps']:<2} "
+              f"{row['pressure']:9s} drop {row['mean_drop_rate'] * 100:5.1f}% "
+              f"± {row['drop_rate_ci'] * 100:4.1f} "
+              f"crash {row['crash_rate'] * 100:5.1f}%")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    devices = study_experiments.build_study(scale=args.scale, seed=args.seed)
+    summary = study_experiments.table1_summary(devices)
+    transitions = study_experiments.fig6_transitions(devices)
+    if args.json:
+        print(json.dumps({"summary": summary, "transitions": transitions},
+                         indent=2))
+        return 0
+    print(f"devices kept: {len(devices)}")
+    for key, value in summary.items():
+        print(f"  {key:36s} {value:6.3f}")
+    for state, row in transitions.items():
+        nexts = "  ".join(f"->{k}:{v:5.1f}%" for k, v in row["next"].items())
+        print(f"  {state:9s} {nexts}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    run = profiled_run(
+        args.pressure, device=args.device, duration_s=args.duration,
+        seed=args.seed,
+    )
+    states = run.video_state_times()
+    mmcqd = run.mmcqd_preemptions()
+    payload = {
+        "pressure": args.pressure,
+        "drop_rate": round(run.result.drop_rate, 4),
+        "crashed": run.result.crashed,
+        "video_thread_states_s": {
+            state.value: round(value, 3) for state, value in states.items()
+        },
+        "top_threads": run.top_threads(limit=args.top),
+        "mmcqd_preemptions": mmcqd.count if mmcqd else 0,
+        "kills": len(run.kill_events),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{args.device} 480p@60 under {args.pressure} pressure")
+    for state in (ThreadState.RUNNING, ThreadState.RUNNABLE,
+                  ThreadState.RUNNABLE_PREEMPTED, ThreadState.UNINTERRUPTIBLE):
+        print(f"  {state.value:22s} {states[state]:7.2f} s")
+    print("  busiest threads:")
+    for name, seconds in payload["top_threads"]:
+        print(f"    {name:24s} {seconds:6.2f} s")
+    print(f"  mmcqd preemptions of video threads: {payload['mmcqd_preemptions']}")
+    print(f"  processes killed: {payload['kills']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Coal Not Diamonds' (CoNEXT '22)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one streaming session")
+    run_p.add_argument("--device", default="nexus5",
+                       choices=sorted(DEVICE_FACTORIES))
+    run_p.add_argument("--resolution", default="480p",
+                       choices=RESOLUTION_ORDER)
+    run_p.add_argument("--fps", type=int, default=30,
+                       choices=SUPPORTED_FRAME_RATES)
+    run_p.add_argument("--pressure", default="normal",
+                       choices=["normal", "moderate", "low", "critical"])
+    run_p.add_argument("--client", default=None,
+                       choices=["firefox", "chrome", "exoplayer"])
+    run_p.add_argument("--duration", type=float, default=30.0)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--organic-apps", type=int, default=0)
+    run_p.add_argument("--memory-aware-abr", action="store_true")
+    run_p.add_argument("--json", action="store_true")
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="drop-rate grid across cells")
+    sweep_p.add_argument("--devices", default="nokia1,nexus5,nexus6p")
+    sweep_p.add_argument("--resolutions", default="480p,1080p")
+    sweep_p.add_argument("--fps", type=int, nargs="+", default=[30, 60])
+    sweep_p.add_argument("--pressures", default="normal,moderate,critical")
+    sweep_p.add_argument("--duration", type=float, default=20.0)
+    sweep_p.add_argument("--reps", type=int, default=2)
+    sweep_p.add_argument("--json", action="store_true")
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    study_p = sub.add_parser("study", help="run the §3 population study")
+    study_p.add_argument("--scale", type=float, default=0.15)
+    study_p.add_argument("--seed", type=int, default=3)
+    study_p.add_argument("--json", action="store_true")
+    study_p.set_defaults(func=cmd_study)
+
+    trace_p = sub.add_parser("trace", help="profile a session (§5)")
+    trace_p.add_argument("--device", default="nokia1",
+                         choices=sorted(DEVICE_FACTORIES))
+    trace_p.add_argument("--pressure", default="moderate",
+                         choices=["normal", "moderate", "low", "critical"])
+    trace_p.add_argument("--duration", type=float, default=25.0)
+    trace_p.add_argument("--seed", type=int, default=11)
+    trace_p.add_argument("--top", type=int, default=8)
+    trace_p.add_argument("--json", action="store_true")
+    trace_p.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

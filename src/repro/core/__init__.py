@@ -1,0 +1,73 @@
+"""The paper's contribution as a reusable library.
+
+* :mod:`repro.core.signals` — OnTrimMemory levels + listeners.
+* :mod:`repro.core.qoe` — drop-rate, MOS/DMOS psychometric models.
+* :mod:`repro.core.abr` — network ABR algorithms plus the paper's
+  memory-aware ABR (§6).
+* :mod:`repro.core.session` — one-call controlled experiments.
+* :mod:`repro.core.analysis` — means with 95% CIs, per-cell aggregates.
+* :mod:`repro.core.telemetry` — provider-side QoE beacons with
+  memory-pressure visibility (§7).
+"""
+
+from .abr import (
+    AbrController,
+    BolaAbr,
+    BufferBasedAbr,
+    FixedAbr,
+    MemoryAwareAbr,
+    RateBasedAbr,
+)
+from .analysis import CellStats, mean_ci, t_quantile_975
+from .capability import (
+    RungScore,
+    playable_matrix,
+    profile_device,
+    recommend_ladder,
+)
+from .qoe import (
+    LinearQoeWeights,
+    QoeSummary,
+    linear_qoe,
+    dmos_histogram,
+    expected_dmos,
+    sample_dmos_ratings,
+    summarize,
+)
+from .session import DEVICE_FACTORIES, StreamingSession
+from .signals import MemoryPressureLevel, SignalListener
+from .telemetry import (
+    TelemetryBeacon,
+    TelemetryCollector,
+    beacon_from_result,
+)
+
+__all__ = [
+    "AbrController",
+    "BolaAbr",
+    "BufferBasedAbr",
+    "FixedAbr",
+    "MemoryAwareAbr",
+    "RateBasedAbr",
+    "CellStats",
+    "mean_ci",
+    "t_quantile_975",
+    "RungScore",
+    "playable_matrix",
+    "profile_device",
+    "recommend_ladder",
+    "LinearQoeWeights",
+    "QoeSummary",
+    "linear_qoe",
+    "dmos_histogram",
+    "expected_dmos",
+    "sample_dmos_ratings",
+    "summarize",
+    "DEVICE_FACTORIES",
+    "StreamingSession",
+    "MemoryPressureLevel",
+    "SignalListener",
+    "TelemetryBeacon",
+    "TelemetryCollector",
+    "beacon_from_result",
+]

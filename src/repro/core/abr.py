@@ -1,0 +1,226 @@
+"""Adaptive bitrate (ABR) controllers, including memory-aware ABR.
+
+Classic ABR algorithms adapt to the *network* bottleneck:
+
+* :class:`RateBasedAbr` — pick the highest rung below estimated
+  throughput (the classic throughput-rule).
+* :class:`BufferBasedAbr` — BBA-style linear map from buffer occupancy
+  to the ladder (Huang et al., SIGCOMM '14).
+* :class:`BolaAbr` — Lyapunov utility maximisation per segment
+  (Spiteri et al., INFOCOM '16), simplified to the ladder-scan form
+  used by dash.js.
+
+The paper's §6 contribution is :class:`MemoryAwareAbr`: listen to the
+OS's OnTrimMemory signals and *also* adapt the encoded frame rate and
+resolution to the device's memory state.  It wraps any network ABR:
+the wrapped controller proposes a rung for the network, then memory
+caps are applied — Moderate pressure caps the frame rate (60→24 FPS
+restores rendered FPS in Figure 17), higher levels also step the
+resolution down.  On a signal the switch is applied immediately with a
+buffer flush, releasing buffered bytes — which itself relieves
+pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..kernel.pressure import MemoryPressureLevel
+from ..video.dash import Representation
+from ..video.encoding import RESOLUTION_ORDER
+
+
+class AbrController:
+    """Interface consulted by the player before each segment fetch and
+    on every memory-pressure signal."""
+
+    def choose_representation(self, player) -> Optional[Representation]:
+        """Return the representation for the next fetch (None = keep)."""
+        raise NotImplementedError
+
+    def on_pressure_signal(self, player, level: MemoryPressureLevel) -> None:
+        """React to an OnTrimMemory callback (default: ignore)."""
+
+
+class FixedAbr(AbrController):
+    """No adaptation: always the configured rung (the paper's §4 setup)."""
+
+    def choose_representation(self, player) -> Optional[Representation]:
+        return None
+
+
+def _sorted_ladder(player) -> List[Representation]:
+    """The manifest's rungs ordered by bitrate ascending."""
+    return player.manifest.representations
+
+
+class RateBasedAbr(AbrController):
+    """Highest rung whose bitrate fits within a safety factor of the
+    estimated throughput."""
+
+    def __init__(self, safety: float = 0.8, fps: Optional[int] = None) -> None:
+        if not 0 < safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+        self.safety = safety
+        self.fps = fps
+
+    def choose_representation(self, player) -> Optional[Representation]:
+        estimate = player.estimated_throughput_mbps()
+        if estimate <= 0:
+            return None
+        ladder = [
+            rep for rep in _sorted_ladder(player)
+            if self.fps is None or rep.fps == self.fps
+        ]
+        budget_kbps = estimate * 1000 * self.safety
+        fitting = [rep for rep in ladder if rep.bitrate_kbps <= budget_kbps]
+        return fitting[-1] if fitting else ladder[0]
+
+
+class BufferBasedAbr(AbrController):
+    """BBA: linear map from buffer occupancy to the bitrate ladder,
+    with a low reservoir and an upper cushion."""
+
+    def __init__(
+        self,
+        reservoir_s: float = 8.0,
+        cushion_s: float = 40.0,
+        fps: Optional[int] = None,
+    ) -> None:
+        if cushion_s <= reservoir_s:
+            raise ValueError("cushion must exceed reservoir")
+        self.reservoir_s = reservoir_s
+        self.cushion_s = cushion_s
+        self.fps = fps
+
+    def choose_representation(self, player) -> Optional[Representation]:
+        ladder = [
+            rep for rep in _sorted_ladder(player)
+            if self.fps is None or rep.fps == self.fps
+        ]
+        if not ladder:
+            return None
+        level = player.buffer_level_s
+        if level <= self.reservoir_s:
+            return ladder[0]
+        if level >= self.cushion_s:
+            return ladder[-1]
+        fraction = (level - self.reservoir_s) / (self.cushion_s - self.reservoir_s)
+        index = min(len(ladder) - 1, int(fraction * len(ladder)))
+        return ladder[index]
+
+
+class BolaAbr(AbrController):
+    """BOLA: choose the rung maximising (V·utility + V·gamma - Q) / size,
+    where utility is log relative bitrate and Q the buffer in segments."""
+
+    def __init__(
+        self,
+        gamma: float = 5.0,
+        buffer_target_s: float = 30.0,
+        fps: Optional[int] = None,
+    ) -> None:
+        self.gamma = gamma
+        self.buffer_target_s = buffer_target_s
+        self.fps = fps
+
+    def choose_representation(self, player) -> Optional[Representation]:
+        import math
+
+        ladder = [
+            rep for rep in _sorted_ladder(player)
+            if self.fps is None or rep.fps == self.fps
+        ]
+        if not ladder:
+            return None
+        smallest = ladder[0].bitrate_kbps
+        segment_s = 4.0
+        queue_segments = player.buffer_level_s / segment_s
+        # V calibrated so the top rung is picked at the buffer target.
+        utilities = [math.log(rep.bitrate_kbps / smallest) for rep in ladder]
+        v = (self.buffer_target_s / segment_s - 1) / (utilities[-1] + self.gamma)
+        best, best_score = None, None
+        for rep, utility in zip(ladder, utilities):
+            score = (
+                v * (utility + self.gamma) - queue_segments
+            ) / (rep.bitrate_kbps * segment_s)
+            if best_score is None or score > best_score:
+                best, best_score = rep, score
+        return best
+
+
+class MemoryAwareAbr(AbrController):
+    """The paper's proposal: cap frame rate and resolution by the
+    device's memory-pressure state, on top of any network ABR.
+
+    ``policy`` maps a pressure level to (max_fps, resolution_steps_down);
+    the default implements §6's findings — drop 60→24 FPS at Moderate,
+    also step the resolution down at Low/Critical.
+    """
+
+    DEFAULT_POLICY: Dict[MemoryPressureLevel, tuple] = {
+        MemoryPressureLevel.NORMAL: (60, 0),
+        MemoryPressureLevel.MODERATE: (24, 0),
+        MemoryPressureLevel.LOW: (24, 1),
+        MemoryPressureLevel.CRITICAL: (24, 2),
+    }
+
+    def __init__(
+        self,
+        inner: Optional[AbrController] = None,
+        policy: Optional[Dict[MemoryPressureLevel, tuple]] = None,
+        flush_on_signal: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.policy = dict(self.DEFAULT_POLICY)
+        if policy:
+            self.policy.update(policy)
+        self.flush_on_signal = flush_on_signal
+        self._level = MemoryPressureLevel.NORMAL
+        #: (time_s, level, chosen rep id) decision log for analysis.
+        self.decision_log: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def choose_representation(self, player) -> Optional[Representation]:
+        # Poll the current level too (ActivityManager.getMemoryInfo):
+        # OnTrimMemory only fires on escalation, and a controller that
+        # waits for the first callback starts every pressured session
+        # at full rate.
+        self._level = player.manager.monitor.level
+        proposal = None
+        if self.inner is not None:
+            proposal = self.inner.choose_representation(player)
+        if proposal is None:
+            proposal = player.current_rep
+        return self._apply_memory_caps(player, proposal)
+
+    def on_pressure_signal(self, player, level: MemoryPressureLevel) -> None:
+        """React immediately: switch the representation at the playhead."""
+        if level == self._level:
+            return
+        self._level = level
+        capped = self._apply_memory_caps(player, player.current_rep)
+        if capped is not None and capped.id != player.current_rep.id:
+            player.set_representation(
+                capped.resolution, capped.fps, flush=self.flush_on_signal
+            )
+            self.decision_log.append((level.name, capped.id))
+
+    # ------------------------------------------------------------------
+    def _apply_memory_caps(self, player, proposal: Representation):
+        max_fps, steps_down = self.policy.get(self._level, (60, 0))
+        resolution = proposal.resolution
+        if steps_down > 0:
+            index = RESOLUTION_ORDER.index(resolution)
+            resolution = RESOLUTION_ORDER[max(0, index - steps_down)]
+        fps_options = sorted(
+            {rep.fps for rep in player.manifest.representations}
+        )
+        allowed = [fps for fps in fps_options if fps <= max_fps]
+        fps = allowed[-1] if allowed else fps_options[0]
+        if proposal.fps <= max_fps and steps_down == 0:
+            return proposal
+        try:
+            return player.manifest.representation(resolution, fps)
+        except KeyError:
+            return proposal

@@ -1,0 +1,90 @@
+"""Aggregate statistics for repeated experiments.
+
+The paper reports means with 95% confidence intervals over five runs
+(§4.1).  :func:`mean_ci` implements the standard t-interval;
+:class:`CellStats` aggregates one experimental cell (drop rate, crash
+rate, PSS) the way the paper's figures and tables do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Two-sided 97.5% Student-t quantiles for small samples (df 1..30).
+_T_975 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t_quantile_975(df: int) -> float:
+    """Two-sided 95% t quantile (normal approximation beyond df=30)."""
+    if df < 1:
+        raise ValueError("df must be >= 1")
+    if df <= len(_T_975):
+        return _T_975[df - 1]
+    return 1.96
+
+
+def mean_ci(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and 95% CI half-width of a sample (0 half-width for n<2)."""
+    if not values:
+        raise ValueError("values must not be empty")
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = t_quantile_975(n - 1) * math.sqrt(variance / n)
+    return mean, half
+
+
+@dataclass
+class CellStats:
+    """Aggregate of one experimental cell over repetitions."""
+
+    drop_rates: List[float]
+    crashes: List[bool]
+    pss_means: List[float]
+
+    @classmethod
+    def from_results(cls, results) -> "CellStats":
+        return cls(
+            drop_rates=[r.drop_rate for r in results],
+            crashes=[r.crashed for r in results],
+            pss_means=[r.pss_mean_mb for r in results],
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.drop_rates)
+
+    @property
+    def mean_drop_rate(self) -> float:
+        return mean_ci(self.drop_rates)[0]
+
+    @property
+    def drop_rate_ci(self) -> float:
+        return mean_ci(self.drop_rates)[1]
+
+    @property
+    def crash_rate(self) -> float:
+        if not self.crashes:
+            return 0.0
+        return sum(self.crashes) / len(self.crashes)
+
+    @property
+    def mean_pss_mb(self) -> float:
+        return mean_ci(self.pss_means)[0]
+
+    def row(self) -> str:
+        """Human-readable summary line used by the bench harness."""
+        return (
+            f"drop {self.mean_drop_rate * 100:5.1f}% "
+            f"± {self.drop_rate_ci * 100:4.1f} | "
+            f"crash {self.crash_rate * 100:5.1f}% | "
+            f"pss {self.mean_pss_mb:6.1f} MB | n={self.n}"
+        )

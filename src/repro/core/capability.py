@@ -1,0 +1,114 @@
+"""Device-capability profiling: which encodings can a device sustain?
+
+§7 asks providers to "consider offering a larger range of video
+encodings to adapt not only video resolutions but also the frame rate",
+so that "low-end devices can then select lower frame rate streams".
+Doing that requires knowing, per device class and memory state, which
+(resolution, frame rate) rungs actually play — this module measures it.
+
+:func:`profile_device` sweeps the ladder on a simulated device at each
+requested pressure level and scores every rung; :func:`recommend_ladder`
+turns the scores into the rung list a provider should serve to that
+device class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..video.encoding import bitrate_kbps
+from .session import StreamingSession
+
+#: A rung is "playable" below this drop rate with no crash.
+PLAYABLE_DROP_RATE = 0.05
+
+
+@dataclass(frozen=True)
+class RungScore:
+    """Measured outcome of one ladder rung on one device/pressure."""
+
+    resolution: str
+    fps: int
+    pressure: str
+    mean_drop_rate: float
+    crash_rate: float
+
+    @property
+    def playable(self) -> bool:
+        return self.crash_rate == 0.0 and self.mean_drop_rate <= PLAYABLE_DROP_RATE
+
+
+def profile_device(
+    device: str,
+    pressures: Sequence[str] = ("normal", "moderate"),
+    resolutions: Sequence[str] = ("240p", "360p", "480p", "720p", "1080p"),
+    frame_rates: Sequence[int] = (24, 30, 48, 60),
+    duration_s: float = 15.0,
+    repetitions: int = 2,
+    base_seed: int = 200,
+) -> List[RungScore]:
+    """Measure every (resolution, fps, pressure) rung on ``device``."""
+    from ..video.encoding import GENRES, VideoAsset
+
+    scores = []
+    for pressure in pressures:
+        for resolution in resolutions:
+            for fps in frame_rates:
+                drops, crashes = [], 0
+                for rep in range(repetitions):
+                    asset = VideoAsset(
+                        "probe", GENRES["travel"], duration_s,
+                        resolutions=(resolution,), frame_rates=(fps,),
+                    )
+                    result = StreamingSession(
+                        device=device, asset=asset, resolution=resolution,
+                        frame_rate=fps, pressure=pressure,
+                        duration_s=duration_s, seed=base_seed + rep * 31,
+                    ).run()
+                    drops.append(result.drop_rate)
+                    crashes += result.crashed
+                scores.append(RungScore(
+                    resolution=resolution,
+                    fps=fps,
+                    pressure=pressure,
+                    mean_drop_rate=sum(drops) / len(drops),
+                    crash_rate=crashes / repetitions,
+                ))
+    return scores
+
+
+def playable_matrix(
+    scores: Sequence[RungScore],
+) -> Dict[str, Dict[Tuple[str, int], bool]]:
+    """{pressure: {(resolution, fps): playable}} from profile scores."""
+    matrix: Dict[str, Dict[Tuple[str, int], bool]] = {}
+    for score in scores:
+        matrix.setdefault(score.pressure, {})[
+            (score.resolution, score.fps)
+        ] = score.playable
+    return matrix
+
+
+def recommend_ladder(
+    scores: Sequence[RungScore],
+    pressure: str,
+) -> List[Tuple[str, int, int]]:
+    """The bitrate ladder a provider should serve for ``pressure``:
+    playable rungs only, sorted by bitrate, deduplicated so each
+    bitrate level keeps its highest-quality playable encoding."""
+    playable = [
+        score for score in scores
+        if score.pressure == pressure and score.playable
+    ]
+    rungs = sorted(
+        ((score.resolution, score.fps, bitrate_kbps(score.resolution, score.fps))
+         for score in playable),
+        key=lambda rung: rung[2],
+    )
+    deduped: List[Tuple[str, int, int]] = []
+    for rung in rungs:
+        if deduped and deduped[-1][2] == rung[2]:
+            continue
+        deduped.append(rung)
+    return deduped

@@ -1,0 +1,116 @@
+"""QoE metrics: frame drops, rendered FPS, opinion scores.
+
+The opinion-score model maps frame-drop rates to the 1-5 scale used by
+the paper's 99-participant survey (§4.3, Figure 10).  Raters compared a
+reference clip (Normal pressure) with a degraded clip (Moderate): 5
+means "no noticeable difference", 1 "very annoying".  We use a standard
+exponential psychometric curve with inter-rater spread; the calibration
+anchors the paper's operating point — a 3% vs 35% drop-rate pair should
+yield mostly 1-2 ratings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Sensitivity of the opinion curve to the extra drop rate.
+DMOS_ALPHA = 5.0
+#: Standard deviation of inter-rater noise on the continuous scale.
+DMOS_RATER_SIGMA = 0.85
+
+
+def expected_dmos(reference_drop_rate: float, degraded_drop_rate: float) -> float:
+    """Expected differential opinion score for a pair of clips."""
+    delta = max(0.0, degraded_drop_rate - reference_drop_rate)
+    return 1.0 + 4.0 * math.exp(-DMOS_ALPHA * delta)
+
+
+def sample_dmos_ratings(
+    reference_drop_rate: float,
+    degraded_drop_rate: float,
+    n_raters: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Simulate ``n_raters`` discrete 1-5 ratings for a clip pair."""
+    mean = expected_dmos(reference_drop_rate, degraded_drop_rate)
+    continuous = rng.normal(mean, DMOS_RATER_SIGMA, size=n_raters)
+    return [int(min(5, max(1, round(value)))) for value in continuous]
+
+
+def dmos_histogram(ratings: Sequence[int]) -> Dict[int, int]:
+    """Frequency of each rating 1..5 (Figure 10's bar heights)."""
+    histogram = {score: 0 for score in range(1, 6)}
+    for rating in ratings:
+        if not 1 <= rating <= 5:
+            raise ValueError(f"rating out of range: {rating}")
+        histogram[rating] += 1
+    return histogram
+
+
+@dataclass(frozen=True)
+class LinearQoeWeights:
+    """Weights of the linear ABR QoE objective (Yin et al., SIGCOMM '15),
+    extended with a frame-drop term for device-bottleneck studies."""
+
+    rebuffer_penalty: float = 4.3   # per second of stall, in Mbps units
+    switch_penalty: float = 1.0     # per Mbps of bitrate change
+    drop_penalty: float = 6.0       # per unit drop rate, in Mbps units
+    crash_penalty: float = 20.0     # flat, a crash ends the session
+
+
+def linear_qoe(result, weights: LinearQoeWeights = LinearQoeWeights()) -> float:
+    """The linear QoE score of a finished session.
+
+    ``delivered bitrate − λ·switching − μ·rebuffering − drops − crash``,
+    all in Mbps units.  The classic objective uses the *played* bitrate
+    as the quality proxy; on a device bottleneck that credits frames
+    that never rendered, so the utility here is the mean played bitrate
+    scaled by the delivered share ``(1 − drop_rate)``, plus an explicit
+    jank penalty.  Network-only ABR maximises the first three terms;
+    the paper's point is that on memory-constrained devices the last
+    two dominate — this objective makes that trade-off measurable.
+    """
+    bitrates = [kbps / 1000.0 for kbps in result.played_bitrates_kbps]
+    if not bitrates:
+        return -weights.crash_penalty if result.crashed else 0.0
+    utility = (sum(bitrates) / len(bitrates)) * (1.0 - result.drop_rate)
+    switching = sum(
+        abs(b - a) for a, b in zip(bitrates, bitrates[1:])
+    ) / len(bitrates)
+    duration = max(result.duration_s, 1e-9)
+    rebuffer = weights.rebuffer_penalty * result.rebuffer_s / duration
+    drops = weights.drop_penalty * result.drop_rate
+    crash = weights.crash_penalty if result.crashed else 0.0
+    return utility - weights.switch_penalty * switching - rebuffer - drops - crash
+
+
+@dataclass(frozen=True)
+class QoeSummary:
+    """Aggregate playback quality for one session."""
+
+    drop_rate: float
+    mean_rendered_fps: float
+    rebuffer_ratio: float
+    crashed: bool
+
+    @property
+    def mos(self) -> float:
+        """Absolute MOS estimate from the drop rate (crash floors it)."""
+        if self.crashed:
+            return 1.0
+        return expected_dmos(0.0, self.drop_rate)
+
+
+def summarize(result) -> QoeSummary:
+    """Build a :class:`QoeSummary` from a session result."""
+    duration = max(result.duration_s, 1e-9)
+    return QoeSummary(
+        drop_rate=result.drop_rate,
+        mean_rendered_fps=result.mean_rendered_fps,
+        rebuffer_ratio=min(1.0, result.rebuffer_s / duration),
+        crashed=result.crashed,
+    )

@@ -1,0 +1,132 @@
+"""High-level streaming-session API.
+
+One object, one call: build a device, drive it to a target memory
+pressure state with the MP-Simulator workload (or organically with
+background apps), stream a video, and return the measured
+:class:`~repro.video.player.SessionResult`.  This is the entry point
+used by the examples and every §4/§6 benchmark.
+
+Example::
+
+    from repro.core import StreamingSession
+
+    result = StreamingSession(
+        device="nokia1", resolution="720p", frame_rate=30,
+        pressure="moderate", duration_s=30, seed=1,
+    ).run()
+    print(result.drop_rate, result.crashed)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..device.device import Device, nexus5, nexus6p, nokia1
+from ..kernel.pressure import MemoryPressureLevel
+from ..sim.clock import seconds
+from ..video.clients import CLIENTS, ClientProfile
+from ..video.encoding import VideoAsset, default_video
+from ..video.player import SessionResult, VideoPlayer
+from ..workload.background import BackgroundWorkload
+from ..workload.mpsim import MPSimulator
+
+DEVICE_FACTORIES = {
+    "nokia1": nokia1,
+    "nexus5": nexus5,
+    "nexus6p": nexus6p,
+}
+
+
+def _parse_pressure(value: Union[str, MemoryPressureLevel]) -> MemoryPressureLevel:
+    if isinstance(value, MemoryPressureLevel):
+        return value
+    try:
+        return MemoryPressureLevel[value.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown pressure level {value!r}; expected one of "
+            f"{[level.name.lower() for level in MemoryPressureLevel]}"
+        ) from None
+
+
+class StreamingSession:
+    """A complete controlled experiment: device + pressure + playback."""
+
+    #: Wall-clock safety multiple over the nominal video duration.
+    HORIZON_FACTOR = 8.0
+
+    def __init__(
+        self,
+        device: Union[str, Device] = "nexus5",
+        asset: Optional[VideoAsset] = None,
+        resolution: str = "480p",
+        frame_rate: int = 30,
+        pressure: Union[str, MemoryPressureLevel] = "normal",
+        client: Union[str, ClientProfile, None] = None,
+        duration_s: float = 30.0,
+        seed: int = 0,
+        abr=None,
+        organic_apps: int = 0,
+    ) -> None:
+        if isinstance(device, str):
+            if device not in DEVICE_FACTORIES:
+                raise ValueError(
+                    f"unknown device {device!r}; expected one of "
+                    f"{sorted(DEVICE_FACTORIES)}"
+                )
+            device = DEVICE_FACTORIES[device](seed=seed)
+        self.device = device
+        self.asset = asset or default_video(duration_s=duration_s)
+        self.pressure = _parse_pressure(pressure)
+        if isinstance(client, str):
+            if client not in CLIENTS:
+                raise ValueError(f"unknown client {client!r}")
+            client = CLIENTS[client]()
+        self.organic_apps = organic_apps
+        self.player = VideoPlayer(
+            device,
+            self.asset,
+            resolution,
+            frame_rate,
+            client=client,
+            abr=abr,
+        )
+        self.mpsim: Optional[MPSimulator] = None
+        self.background: Optional[BackgroundWorkload] = None
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        on_playback_start: Optional[Callable[[], None]] = None,
+    ) -> SessionResult:
+        """Execute the experiment to completion and return the result."""
+        if self._ran:
+            raise RuntimeError("session already ran; build a new one")
+        self._ran = True
+
+        def begin() -> None:
+            if on_playback_start is not None:
+                on_playback_start()
+            self.player.start()
+
+        if self.organic_apps > 0:
+            # Organic pressure: open background apps first (§4.3).
+            self.background = BackgroundWorkload(self.device, self.organic_apps)
+            self.background.launch_all(on_settled=begin)
+        elif self.pressure is MemoryPressureLevel.NORMAL:
+            self.device.sim.schedule(0, begin, label="session:start")
+        else:
+            self.mpsim = MPSimulator(self.device, self.pressure)
+            self.mpsim.engage(on_reached=begin)
+
+        horizon = seconds(self.asset.duration_s * self.HORIZON_FACTOR)
+        sim = self.device.sim
+        step = seconds(1)
+        while not self.player.finished and sim.now < horizon:
+            sim.run(until=sim.now + step)
+        if not self.player.finished:
+            # Horizon hit (pathological stall): finalize what we have.
+            self.player.pipeline.stop()
+            self.player._finalize()
+        return self.player.result

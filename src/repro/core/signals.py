@@ -1,0 +1,54 @@
+"""Memory-pressure signals as an application-facing API.
+
+Re-exports :class:`MemoryPressureLevel` (the OnTrimMemory levels) and
+provides :class:`SignalListener`, a small utility that applications —
+and the §3 analysis — use to accumulate signal statistics: counts per
+level, rates per hour, and the raw log.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from ..kernel.pressure import (  # noqa: F401  (re-exported API)
+    MemoryPressureLevel,
+    PressureMonitor,
+    PressureThresholds,
+)
+from ..sim.clock import Time, to_seconds
+
+
+class SignalListener:
+    """Accumulates OnTrimMemory signals from a :class:`PressureMonitor`."""
+
+    def __init__(self, monitor: PressureMonitor) -> None:
+        self.monitor = monitor
+        self.log: List[Tuple[Time, MemoryPressureLevel]] = []
+        monitor.subscribe(self._on_signal)
+
+    def _on_signal(self, level: MemoryPressureLevel, time: Time) -> None:
+        self.log.append((time, level))
+
+    # ------------------------------------------------------------------
+    @property
+    def total_signals(self) -> int:
+        return len(self.log)
+
+    def counts(self) -> Dict[MemoryPressureLevel, int]:
+        """Signals received per level."""
+        counter = Counter(level for _, level in self.log)
+        return {level: counter.get(level, 0) for level in MemoryPressureLevel}
+
+    def signals_per_hour(self, observed: Time) -> float:
+        """Mean signal rate over ``observed`` ticks of monitoring."""
+        hours = to_seconds(observed) / 3600.0
+        if hours <= 0:
+            return 0.0
+        return self.total_signals / hours
+
+    def latest_level(self) -> MemoryPressureLevel:
+        """The most recently signalled level (NORMAL before any signal)."""
+        if not self.log:
+            return MemoryPressureLevel.NORMAL
+        return self.log[-1][1]

@@ -1,0 +1,184 @@
+"""Provider-side QoE telemetry with memory-pressure visibility.
+
+§7's first implication for Internet video providers: *"providers should
+measure device memory conditions as it has a role to play in
+determining client-side QoE.  This additional visibility ... can help
+better disambiguate the complexities associated with troubleshooting
+client performance issues in the wild."*
+
+This module is that pipeline: clients emit a :class:`TelemetryBeacon`
+per session — the routinely-collected fields (throughput, drops,
+rebuffering, crash) **plus** the OnTrimMemory signals the paper argues
+should be added — and the provider-side :class:`TelemetryCollector`
+aggregates them.  Its :meth:`~TelemetryCollector.disambiguation_report`
+answers the troubleshooting question directly: among sessions whose
+*network* was fine, how much of the remaining bad QoE lines up with
+memory pressure?
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..kernel.pressure import MemoryPressureLevel
+from ..video.player import SessionResult
+
+#: A session whose rebuffer ratio exceeds this is network-impaired.
+NETWORK_IMPAIRED_REBUFFER_RATIO = 0.05
+#: A session is "bad QoE" above this drop rate, or if it crashed.
+BAD_QOE_DROP_RATE = 0.10
+
+
+@dataclass(frozen=True)
+class TelemetryBeacon:
+    """One session's report, as a client would upload it."""
+
+    device_model: str
+    device_ram_mb: int
+    client: str
+    resolution: str
+    fps: int
+    duration_s: float
+    drop_rate: float
+    rebuffer_ratio: float
+    crashed: bool
+    mean_throughput_mbps: float
+    #: Count of OnTrimMemory signals seen, per level name — the field
+    #: the paper asks providers to start collecting.
+    pressure_signals: Dict[str, int]
+
+    @property
+    def saw_memory_pressure(self) -> bool:
+        return sum(self.pressure_signals.values()) > 0
+
+    @property
+    def worst_level(self) -> MemoryPressureLevel:
+        worst = MemoryPressureLevel.NORMAL
+        for name, count in self.pressure_signals.items():
+            if count > 0:
+                level = MemoryPressureLevel[name]
+                if level > worst:
+                    worst = level
+        return worst
+
+    @property
+    def network_impaired(self) -> bool:
+        return self.rebuffer_ratio > NETWORK_IMPAIRED_REBUFFER_RATIO
+
+    @property
+    def bad_qoe(self) -> bool:
+        return self.crashed or self.drop_rate > BAD_QOE_DROP_RATE
+
+
+def beacon_from_result(
+    result: SessionResult,
+    device_ram_mb: int,
+    mean_throughput_mbps: float = 0.0,
+) -> TelemetryBeacon:
+    """Build a beacon from a finished session."""
+    signals: Dict[str, int] = defaultdict(int)
+    for _time, level in result.signals:
+        signals[level.name] += 1
+    duration = max(result.duration_s, 1e-9)
+    return TelemetryBeacon(
+        device_model=result.device_name,
+        device_ram_mb=device_ram_mb,
+        client=result.client_name,
+        resolution=result.resolution,
+        fps=result.fps,
+        duration_s=result.duration_s,
+        drop_rate=result.drop_rate,
+        rebuffer_ratio=min(1.0, result.rebuffer_s / duration),
+        crashed=result.crashed,
+        mean_throughput_mbps=mean_throughput_mbps,
+        pressure_signals=dict(signals),
+    )
+
+
+@dataclass
+class QuadrantStats:
+    """QoE aggregate for one (network, memory) condition quadrant."""
+
+    sessions: int = 0
+    bad_qoe_sessions: int = 0
+    crash_sessions: int = 0
+    drop_rate_sum: float = 0.0
+
+    def add(self, beacon: TelemetryBeacon) -> None:
+        self.sessions += 1
+        self.bad_qoe_sessions += beacon.bad_qoe
+        self.crash_sessions += beacon.crashed
+        self.drop_rate_sum += beacon.drop_rate
+
+    @property
+    def bad_qoe_rate(self) -> float:
+        return self.bad_qoe_sessions / self.sessions if self.sessions else 0.0
+
+    @property
+    def crash_rate(self) -> float:
+        return self.crash_sessions / self.sessions if self.sessions else 0.0
+
+    @property
+    def mean_drop_rate(self) -> float:
+        return self.drop_rate_sum / self.sessions if self.sessions else 0.0
+
+
+class TelemetryCollector:
+    """Provider-side aggregation over uploaded beacons."""
+
+    def __init__(self) -> None:
+        self.beacons: List[TelemetryBeacon] = []
+
+    def ingest(self, beacon: TelemetryBeacon) -> None:
+        self.beacons.append(beacon)
+
+    def __len__(self) -> int:
+        return len(self.beacons)
+
+    # ------------------------------------------------------------------
+    def disambiguation_report(self) -> Dict[Tuple[bool, bool], QuadrantStats]:
+        """QoE by (network impaired?, saw memory pressure?) quadrant.
+
+        Without the memory column, the (good network, bad QoE) sessions
+        are unexplained; with it, they split into pressure-correlated
+        and genuinely mysterious — the §7 troubleshooting win.
+        """
+        quadrants: Dict[Tuple[bool, bool], QuadrantStats] = defaultdict(
+            QuadrantStats
+        )
+        for beacon in self.beacons:
+            quadrants[(beacon.network_impaired, beacon.saw_memory_pressure)].add(
+                beacon
+            )
+        return dict(quadrants)
+
+    def pressure_attribution(self) -> Optional[float]:
+        """Among good-network sessions with bad QoE: the fraction that
+        reported memory-pressure signals (None if no such sessions)."""
+        candidates = [
+            beacon for beacon in self.beacons
+            if not beacon.network_impaired and beacon.bad_qoe
+        ]
+        if not candidates:
+            return None
+        return sum(b.saw_memory_pressure for b in candidates) / len(candidates)
+
+    def crash_rate_by_ram(self) -> Dict[int, float]:
+        """Crash rate per device RAM size (MB) — the fleet view that
+        motivates wider encoding ladders for low-end devices."""
+        by_ram: Dict[int, List[TelemetryBeacon]] = defaultdict(list)
+        for beacon in self.beacons:
+            by_ram[beacon.device_ram_mb].append(beacon)
+        return {
+            ram: sum(b.crashed for b in group) / len(group)
+            for ram, group in sorted(by_ram.items())
+        }
+
+    def qoe_by_worst_level(self) -> Dict[str, QuadrantStats]:
+        """Aggregate QoE keyed by the worst pressure level reported."""
+        by_level: Dict[str, QuadrantStats] = defaultdict(QuadrantStats)
+        for beacon in self.beacons:
+            by_level[beacon.worst_level.name].add(beacon)
+        return dict(by_level)

@@ -1,0 +1,27 @@
+"""Device integration layer: profiles, storage, and the booted Device."""
+
+from .device import Device, nexus5, nexus6p, nokia1
+from .profiles import (
+    PROFILES,
+    DeviceProfile,
+    generic_profile,
+    nexus5_profile,
+    nexus6p_profile,
+    nokia1_profile,
+)
+from .storage import StorageDevice, StorageProfile
+
+__all__ = [
+    "Device",
+    "nexus5",
+    "nexus6p",
+    "nokia1",
+    "PROFILES",
+    "DeviceProfile",
+    "generic_profile",
+    "nexus5_profile",
+    "nexus6p_profile",
+    "nokia1_profile",
+    "StorageDevice",
+    "StorageProfile",
+]

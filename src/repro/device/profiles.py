@@ -1,0 +1,188 @@
+"""Device profiles for the paper's three evaluation smartphones.
+
+Specifications come from §4.1 of the paper; memory-layout and
+decode-efficiency parameters are the calibrated inputs documented in
+DESIGN.md §5.  The trends reported by the experiments *emerge* from
+these inputs plus the simulated mechanisms; nothing downstream is
+curve-fitted.
+
+* **Nokia 1** — entry level: 1 GB RAM, quad-core 1.1 GHz, Android Go.
+* **Nexus 5** — mid range: 2 GB RAM, quad-core 2.26 GHz.
+* **Nexus 6P** — upper mid range: 3 GB RAM, octa-core big.LITTLE
+  (4 × 1.55 GHz + 4 × 2.0 GHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..kernel.pressure import PressureThresholds
+from .storage import StorageProfile
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Everything needed to instantiate a simulated device."""
+
+    name: str
+    ram_mb: int
+    #: Per-core frequencies in GHz (length = number of cores).
+    core_freqs_ghz: Tuple[float, ...]
+    #: Cluster tag per core ("little"/"big"/"main").
+    core_clusters: Tuple[str, ...]
+    #: RAM the kernel/firmware reserves and never hands to processes.
+    kernel_reserved_mb: int
+    #: Multiplier on the reference per-pixel decode cost; smaller means
+    #: a more capable hardware decode path (see video.pipeline).
+    decode_cost_multiplier: float
+    #: OnTrimMemory thresholds on the cached-process count.
+    pressure_thresholds: PressureThresholds
+    #: zRAM compression ratio for this device's memory contents.
+    zram_ratio: float
+    storage: StorageProfile
+    #: System processes present at boot: (name, oom_adj, size_mb).
+    system_processes: Tuple[Tuple[str, int, int], ...]
+    #: Cached/background apps at session start: (mean_mb, count).
+    cached_app_mb_mean: float = 55.0
+    cached_app_count: int = 8
+    screen_inches: float = 5.0
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.core_freqs_ghz)
+
+
+def nokia1_profile() -> DeviceProfile:
+    """Nokia 1: 1 GB RAM, quad 1.1 GHz (Android 10 Go edition)."""
+    return DeviceProfile(
+        name="Nokia 1",
+        ram_mb=1024,
+        core_freqs_ghz=(1.1, 1.1, 1.1, 1.1),
+        core_clusters=("main",) * 4,
+        kernel_reserved_mb=150,
+        decode_cost_multiplier=1.0,
+        pressure_thresholds=PressureThresholds(moderate=6, low=5, critical=3),
+        zram_ratio=2.5,
+        # Entry-level eMMC 4.5: slow random reads, painful writes; under
+        # mixed read/write the queue turns refaults into frame-length
+        # stalls (the mechanism behind Table 5).
+        storage=StorageProfile(
+            read_base_us=320.0,
+            read_per_page_us=38.0,
+            write_base_us=1100.0,
+            write_per_page_us=75.0,
+            jitter_sigma=0.35,
+        ),
+        system_processes=(
+            ("system_server", -900, 110),
+            ("surfaceflinger", -800, 28),
+            ("android.systemui", -800, 52),
+            ("media.codec", -800, 20),
+        ),
+        cached_app_mb_mean=45.0,
+        cached_app_count=8,
+        screen_inches=4.5,
+    )
+
+
+def nexus5_profile() -> DeviceProfile:
+    """Nexus 5: 2 GB RAM, quad 2.26 GHz."""
+    return DeviceProfile(
+        name="Nexus 5",
+        ram_mb=2048,
+        core_freqs_ghz=(2.26, 2.26, 2.26, 2.26),
+        core_clusters=("main",) * 4,
+        kernel_reserved_mb=260,
+        decode_cost_multiplier=0.45,
+        pressure_thresholds=PressureThresholds(moderate=8, low=6, critical=4),
+        zram_ratio=2.6,
+        storage=StorageProfile(
+            read_base_us=200.0,
+            read_per_page_us=20.0,
+            write_base_us=520.0,
+            write_per_page_us=45.0,
+            jitter_sigma=0.25,
+        ),
+        system_processes=(
+            ("system_server", -900, 160),
+            ("surfaceflinger", -800, 40),
+            ("android.systemui", -800, 80),
+            ("media.codec", -800, 30),
+        ),
+        cached_app_mb_mean=62.0,
+        cached_app_count=10,
+        screen_inches=4.95,
+    )
+
+
+def nexus6p_profile() -> DeviceProfile:
+    """Nexus 6P: 3 GB RAM, octa-core big.LITTLE."""
+    return DeviceProfile(
+        name="Nexus 6P",
+        ram_mb=3072,
+        core_freqs_ghz=(1.55, 1.55, 1.55, 1.55, 2.0, 2.0, 2.0, 2.0),
+        core_clusters=("little",) * 4 + ("big",) * 4,
+        kernel_reserved_mb=380,
+        decode_cost_multiplier=0.33,
+        pressure_thresholds=PressureThresholds(moderate=10, low=8, critical=5),
+        zram_ratio=2.6,
+        storage=StorageProfile(
+            read_base_us=160.0,
+            read_per_page_us=16.0,
+            write_base_us=430.0,
+            write_per_page_us=40.0,
+            jitter_sigma=0.22,
+        ),
+        system_processes=(
+            ("system_server", -900, 210),
+            ("surfaceflinger", -800, 55),
+            ("android.systemui", -800, 110),
+            ("media.codec", -800, 38),
+        ),
+        cached_app_mb_mean=72.0,
+        cached_app_count=12,
+        screen_inches=5.7,
+    )
+
+
+def generic_profile(
+    name: str,
+    ram_mb: int,
+    n_cores: int = 4,
+    freq_ghz: float = 1.8,
+    decode_cost_multiplier: float = 0.6,
+) -> DeviceProfile:
+    """A parametric profile for sweeps beyond the paper's three devices."""
+    reserved = max(80, round(ram_mb * 0.12))
+    cached = max(4, min(14, ram_mb // 256))
+    return DeviceProfile(
+        name=name,
+        ram_mb=ram_mb,
+        core_freqs_ghz=tuple([freq_ghz] * n_cores),
+        core_clusters=tuple(["main"] * n_cores),
+        kernel_reserved_mb=reserved,
+        decode_cost_multiplier=decode_cost_multiplier,
+        pressure_thresholds=PressureThresholds(
+            moderate=max(5, cached - 2),
+            low=max(4, cached - 4),
+            critical=max(3, cached - 6),
+        ),
+        zram_ratio=2.5,
+        storage=StorageProfile(),
+        system_processes=(
+            ("system_server", -900, max(60, ram_mb // 12)),
+            ("surfaceflinger", -800, 25),
+            ("android.systemui", -800, max(40, ram_mb // 24)),
+        ),
+        cached_app_mb_mean=20.0 + ram_mb / 48.0,
+        cached_app_count=cached,
+    )
+
+
+#: Registry used by the experiment harness and examples.
+PROFILES = {
+    "nokia1": nokia1_profile,
+    "nexus5": nexus5_profile,
+    "nexus6p": nexus6p_profile,
+}

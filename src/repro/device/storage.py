@@ -1,0 +1,58 @@
+"""eMMC storage model.
+
+Smartphone flash storage in the paper's device class is eMMC behind a
+single queued command interface (hence the *mmcqd* kernel thread).  The
+model exposes per-request service times; queueing and the CPU cost of
+driving the queue live in :class:`repro.kernel.mmcqd.Mmcqd`.
+
+Service times follow measured eMMC 4.5/5.0 characteristics: a fixed
+command overhead plus a per-page transfer cost, with writes roughly 2×
+slower than reads and a small lognormal jitter to avoid phase locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.clock import Time, micros
+from ..sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class StorageProfile:
+    """Service-time parameters for one eMMC part."""
+
+    read_base_us: float = 180.0
+    read_per_page_us: float = 18.0
+    write_base_us: float = 320.0
+    write_per_page_us: float = 40.0
+    jitter_sigma: float = 0.18
+
+
+class StorageDevice:
+    """Computes randomized service times for read/write requests."""
+
+    def __init__(self, profile: StorageProfile, randoms: RandomStreams) -> None:
+        self.profile = profile
+        self._rng = randoms.stream("storage")
+        self.reads = 0
+        self.writes = 0
+        self.pages_read = 0
+        self.pages_written = 0
+
+    def _jitter(self) -> float:
+        return self._rng.lognormvariate(0.0, self.profile.jitter_sigma)
+
+    def read_time(self, pages: int) -> Time:
+        """Service time for reading ``pages`` 4 KiB pages."""
+        self.reads += 1
+        self.pages_read += pages
+        base = self.profile.read_base_us + self.profile.read_per_page_us * pages
+        return micros(base * self._jitter())
+
+    def write_time(self, pages: int) -> Time:
+        """Service time for writing ``pages`` 4 KiB pages."""
+        self.writes += 1
+        self.pages_written += pages
+        base = self.profile.write_base_us + self.profile.write_per_page_us * pages
+        return micros(base * self._jitter())

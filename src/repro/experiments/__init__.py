@@ -1,0 +1,19 @@
+"""Paper-experiment harness: one function per table/figure.
+
+See DESIGN.md's per-experiment index for the mapping from paper
+artefacts (Figures 1-19, Tables 1-5) to these functions and to the
+benchmarks that print them.
+"""
+
+from . import adaptation_experiments, study_experiments, trace_experiments, video_experiments
+from .runner import DEFAULT_REPETITIONS, CellResult, run_cell
+
+__all__ = [
+    "adaptation_experiments",
+    "study_experiments",
+    "trace_experiments",
+    "video_experiments",
+    "DEFAULT_REPETITIONS",
+    "CellResult",
+    "run_cell",
+]

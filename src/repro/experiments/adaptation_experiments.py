@@ -1,0 +1,162 @@
+"""§6 adaptation experiments: Figures 16-17 plus the memory-aware ABR
+comparison the paper motivates.
+
+Figure 16 varies the encoded frame rate (24/48/60 FPS) within a session
+at three resolutions on the Nokia 1 and observes the rendered FPS.
+Figure 17 does the switching *under Moderate memory pressure*
+(60 → 24 → 48 FPS at 480p), showing that dropping to 24 FPS restores
+rendering.  ``memory_aware_comparison`` quantifies the §6 claim end to
+end: fixed 60 FPS versus the OnTrimMemory-driven controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.abr import MemoryAwareAbr
+from ..core.session import DEVICE_FACTORIES, StreamingSession
+from ..sim.clock import seconds
+from ..video.encoding import GENRES, VideoAsset
+
+#: Frame-rate options used by §6 (the videos are re-encoded at these).
+ADAPTIVE_FRAME_RATES = (24, 48, 60)
+
+
+def _asset(duration_s: float) -> VideoAsset:
+    """The travel video re-encoded with the §6 frame-rate ladder."""
+    return VideoAsset(
+        "Dubai Flow Motion in 4K",
+        GENRES["travel"],
+        duration_s,
+        frame_rates=ADAPTIVE_FRAME_RATES,
+    )
+
+
+@dataclass
+class SwitchingRun:
+    """One session with a scheduled frame-rate switching plan."""
+
+    resolution: str
+    schedule: Sequence[Tuple[float, int]]
+    fps_series: List[float]
+    drop_rate: float
+    crashed: bool
+    switch_log: List[tuple]
+
+
+def timed_frame_rate_run(
+    resolution: str,
+    schedule: Sequence[Tuple[float, int]],
+    pressure: str = "normal",
+    device: str = "nokia1",
+    duration_s: float = 45.0,
+    seed: int = 23,
+    organic_apps: int = 0,
+) -> SwitchingRun:
+    """Play one session switching the encoded frame rate at scheduled
+    offsets: ``schedule`` is [(offset_s, fps), ...]; the first entry
+    must be at offset 0 and sets the starting rate."""
+    if not schedule or schedule[0][0] != 0.0:
+        raise ValueError("schedule must start at offset 0")
+    dev = DEVICE_FACTORIES[device](seed=seed)
+    session = StreamingSession(
+        device=dev,
+        asset=_asset(duration_s),
+        resolution=resolution,
+        frame_rate=schedule[0][1],
+        pressure=pressure,
+        duration_s=duration_s,
+        organic_apps=organic_apps,
+    )
+    player = session.player
+
+    def arm_switches() -> None:
+        for offset_s, fps in schedule[1:]:
+            dev.sim.schedule(
+                seconds(offset_s),
+                lambda fps=fps: player.set_representation(
+                    resolution, fps, flush=True
+                ),
+                label="fig16:switch",
+            )
+
+    result = session.run(on_playback_start=arm_switches)
+    return SwitchingRun(
+        resolution=resolution,
+        schedule=tuple(schedule),
+        fps_series=result.fps_series,
+        drop_rate=result.drop_rate,
+        crashed=result.crashed,
+        switch_log=result.switch_log,
+    )
+
+
+def fig16_frame_rate_sweep(
+    resolutions: Tuple[str, ...] = ("1080p", "720p", "480p"),
+    duration_s: float = 45.0,
+    device: str = "nokia1",
+    seed: int = 23,
+) -> Dict[str, SwitchingRun]:
+    """Figure 16: 60 -> 48 -> 24 FPS thirds at each resolution, Normal
+    pressure, Nokia 1.  Rendered FPS recovers as the rate drops."""
+    third = duration_s / 3.0
+    schedule = [(0.0, 60), (third, 48), (2 * third, 24)]
+    return {
+        resolution: timed_frame_rate_run(
+            resolution, schedule, device=device,
+            duration_s=duration_s, seed=seed,
+        )
+        for resolution in resolutions
+    }
+
+
+def fig17_dynamic_adaptation(
+    duration_s: float = 45.0,
+    device: str = "nokia1",
+    seed: int = 29,
+    organic_apps: int = 8,
+) -> SwitchingRun:
+    """Figure 17: 480p under organic Moderate pressure, switching
+    60 -> 24 -> 48 FPS; the 24 FPS third renders cleanly."""
+    third = duration_s / 3.0
+    schedule = [(0.0, 60), (third, 24), (2 * third, 48)]
+    return timed_frame_rate_run(
+        "480p", schedule, pressure="normal", device=device,
+        duration_s=duration_s, seed=seed, organic_apps=organic_apps,
+    )
+
+
+def memory_aware_comparison(
+    resolution: str = "480p",
+    pressure: str = "moderate",
+    device: str = "nokia1",
+    duration_s: float = 30.0,
+    repetitions: int = 3,
+    base_seed: int = 31,
+) -> Dict[str, dict]:
+    """Fixed 60 FPS versus memory-aware ABR under the same pressure."""
+    outcomes = {}
+    for name, abr_factory in (("fixed", None), ("memory_aware", MemoryAwareAbr)):
+        drops, crashes, fps_means = [], 0, []
+        for rep in range(repetitions):
+            session = StreamingSession(
+                device=device,
+                asset=_asset(duration_s),
+                resolution=resolution,
+                frame_rate=60,
+                pressure=pressure,
+                duration_s=duration_s,
+                seed=base_seed + rep * 101,
+                abr=abr_factory() if abr_factory else None,
+            )
+            result = session.run()
+            drops.append(result.drop_rate)
+            crashes += result.crashed
+            fps_means.append(result.mean_rendered_fps)
+        outcomes[name] = {
+            "mean_drop_rate": sum(drops) / len(drops),
+            "crash_rate": crashes / repetitions,
+            "mean_rendered_fps": sum(fps_means) / len(fps_means),
+        }
+    return outcomes

@@ -1,0 +1,78 @@
+"""Experiment repetition machinery.
+
+The paper repeats each controlled experiment five times and reports
+means with 95% confidence intervals (§4.1).  :func:`run_cell` executes
+one experimental cell — (device, resolution, fps, pressure, client) —
+with per-repetition seeds and aggregates the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.analysis import CellStats
+from ..core.session import StreamingSession
+from ..video.encoding import VideoAsset, default_video
+from ..video.player import SessionResult
+
+#: The paper's repetition count.
+DEFAULT_REPETITIONS = 5
+
+
+@dataclass
+class CellResult:
+    """One experimental cell: its configuration, runs, and aggregate."""
+
+    device: str
+    resolution: str
+    fps: int
+    pressure: str
+    client: str
+    results: List[SessionResult]
+
+    @property
+    def stats(self) -> CellStats:
+        return CellStats.from_results(self.results)
+
+    def label(self) -> str:
+        return f"{self.device} {self.resolution}@{self.fps} {self.pressure}"
+
+
+def run_cell(
+    device: str = "nokia1",
+    resolution: str = "480p",
+    fps: int = 30,
+    pressure: str = "normal",
+    client: Optional[str] = None,
+    duration_s: float = 30.0,
+    repetitions: int = DEFAULT_REPETITIONS,
+    base_seed: int = 100,
+    asset: Optional[VideoAsset] = None,
+    organic_apps: int = 0,
+    abr=None,
+) -> CellResult:
+    """Run one cell ``repetitions`` times with distinct seeds."""
+    results = []
+    for rep in range(repetitions):
+        session = StreamingSession(
+            device=device,
+            asset=asset or default_video(duration_s=duration_s),
+            resolution=resolution,
+            frame_rate=fps,
+            pressure=pressure,
+            client=client,
+            duration_s=duration_s,
+            seed=base_seed + rep * 7919,
+            organic_apps=organic_apps,
+            abr=abr() if callable(abr) else abr,
+        )
+        results.append(session.run())
+    return CellResult(
+        device=device,
+        resolution=resolution,
+        fps=fps,
+        pressure=pressure,
+        client=client or "firefox",
+        results=results,
+    )

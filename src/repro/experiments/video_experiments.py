@@ -1,0 +1,205 @@
+"""§4 controlled video experiments: Figures 8-12, 18, 19; Tables 2, 3.
+
+Every function returns plain data structures that the benchmark
+harness prints as the paper's rows/series.  Parameters default to the
+paper's settings but accept reduced durations/repetitions so the
+benches stay laptop-fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..video.encoding import paper_catalog
+from .runner import CellResult, run_cell
+
+#: The paper's three pressure regimes for §4.3.
+PRESSURES = ("normal", "moderate", "critical")
+#: Resolutions in Figure 8's sweep (240p-1440p) and Figure 9/11's
+#: (240p-1080p).
+FIG8_RESOLUTIONS = ("240p", "360p", "480p", "720p", "1080p", "1440p")
+DROP_RESOLUTIONS = ("240p", "360p", "480p", "720p", "1080p")
+
+
+def fig8_pss_by_encoding(
+    device: str = "nexus5",
+    resolutions: Tuple[str, ...] = FIG8_RESOLUTIONS,
+    frame_rates: Tuple[int, ...] = (30, 60),
+    duration_s: float = 30.0,
+    repetitions: int = 3,
+) -> Dict[Tuple[str, int], dict]:
+    """Figure 8: client PSS vs resolution and frame rate, no pressure."""
+    table = {}
+    for resolution in resolutions:
+        for fps in frame_rates:
+            cell = run_cell(
+                device=device,
+                resolution=resolution,
+                fps=fps,
+                pressure="normal",
+                duration_s=duration_s,
+                repetitions=repetitions,
+            )
+            mins = [r.pss_min_mb for r in cell.results]
+            maxs = [r.pss_max_mb for r in cell.results]
+            table[(resolution, fps)] = {
+                "mean_mb": cell.stats.mean_pss_mb,
+                "min_mb": min(mins) if mins else 0.0,
+                "max_mb": max(maxs) if maxs else 0.0,
+            }
+    return table
+
+
+def drop_grid(
+    device: str,
+    resolutions: Tuple[str, ...] = DROP_RESOLUTIONS,
+    frame_rates: Tuple[int, ...] = (30, 60),
+    pressures: Tuple[str, ...] = PRESSURES,
+    duration_s: float = 30.0,
+    repetitions: int = 3,
+    client: Optional[str] = None,
+) -> Dict[Tuple[str, int, str], CellResult]:
+    """Frame-drop grid behind Figures 9/11/18/19."""
+    grid = {}
+    for resolution in resolutions:
+        for fps in frame_rates:
+            for pressure in pressures:
+                grid[(resolution, fps, pressure)] = run_cell(
+                    device=device,
+                    resolution=resolution,
+                    fps=fps,
+                    pressure=pressure,
+                    duration_s=duration_s,
+                    repetitions=repetitions,
+                    client=client,
+                )
+    return grid
+
+
+def fig9_drops_nokia1(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+    """Figure 9: average frame drops on the Nokia 1."""
+    return drop_grid("nokia1", **kwargs)
+
+
+def fig11_drops_nexus5(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+    """Figure 11: average frame drops on the Nexus 5."""
+    return drop_grid("nexus5", **kwargs)
+
+
+def nexus6p_drops(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+    """§4.3 text: Nexus 6P trend (drops only at >=720p, peak ~9%)."""
+    return drop_grid("nexus6p", **kwargs)
+
+
+def crash_table(
+    device: str,
+    cells: Tuple[Tuple[int, str], ...],
+    pressures: Tuple[str, ...] = PRESSURES,
+    duration_s: float = 30.0,
+    repetitions: int = 5,
+    client: Optional[str] = None,
+) -> Dict[Tuple[int, str, str], float]:
+    """Crash-rate table: {(fps, resolution, pressure): crash fraction}."""
+    table = {}
+    for fps, resolution in cells:
+        for pressure in pressures:
+            cell = run_cell(
+                device=device,
+                resolution=resolution,
+                fps=fps,
+                pressure=pressure,
+                duration_s=duration_s,
+                repetitions=repetitions,
+                client=client,
+            )
+            table[(fps, resolution, pressure)] = cell.stats.crash_rate
+    return table
+
+
+#: Table 2's cells on the Nokia 1.
+TABLE2_CELLS = ((30, "480p"), (30, "720p"), (60, "480p"), (60, "720p"))
+#: Table 3's cells on the Nexus 5.
+TABLE3_CELLS = ((30, "720p"), (30, "1080p"), (60, "480p"), (60, "720p"))
+
+
+def table2_crash_nokia1(**kwargs) -> Dict[Tuple[int, str, str], float]:
+    return crash_table("nokia1", TABLE2_CELLS, **kwargs)
+
+
+def table3_crash_nexus5(**kwargs) -> Dict[Tuple[int, str, str], float]:
+    return crash_table("nexus5", TABLE3_CELLS, **kwargs)
+
+
+def fig12_genres(
+    device: str = "nexus5",
+    resolutions: Tuple[str, ...] = ("480p", "720p", "1080p"),
+    frame_rates: Tuple[int, ...] = (30, 60),
+    pressures: Tuple[str, ...] = PRESSURES,
+    duration_s: float = 30.0,
+    repetitions: int = 2,
+) -> Dict[Tuple[str, str, int, str], CellResult]:
+    """Figure 12: drops across the five genre videos on the Nexus 5."""
+    catalog = paper_catalog(duration_s=duration_s)
+    grid = {}
+    for genre, asset in catalog.items():
+        for resolution in resolutions:
+            for fps in frame_rates:
+                for pressure in pressures:
+                    grid[(genre, resolution, fps, pressure)] = run_cell(
+                        device=device,
+                        resolution=resolution,
+                        fps=fps,
+                        pressure=pressure,
+                        duration_s=duration_s,
+                        repetitions=repetitions,
+                        asset=asset,
+                    )
+    return grid
+
+
+def fig18_exoplayer(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+    """Figure 18 (Appendix B.1): ExoPlayer on the Nexus 5."""
+    kwargs.setdefault("resolutions", ("480p", "720p", "1080p"))
+    return drop_grid("nexus5", client="exoplayer", **kwargs)
+
+
+def fig19_chrome(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+    """Figure 19 (Appendix B.2): Chrome on the Nexus 5."""
+    kwargs.setdefault("resolutions", ("480p", "720p", "1080p"))
+    return drop_grid("nexus5", client="chrome", **kwargs)
+
+
+def organic_spotcheck(
+    duration_s: float = 30.0,
+    repetitions: int = 3,
+) -> Dict[str, CellResult]:
+    """§4.3's organic-pressure comparison: 480p 60 FPS on the Nokia 1,
+    Normal (no background apps) versus Moderate (8 background apps)."""
+    return {
+        "normal": run_cell(
+            device="nokia1", resolution="480p", fps=60,
+            pressure="normal", duration_s=duration_s,
+            repetitions=repetitions,
+        ),
+        "organic_moderate": run_cell(
+            device="nokia1", resolution="480p", fps=60,
+            pressure="normal", duration_s=duration_s,
+            repetitions=repetitions, organic_apps=8,
+        ),
+    }
+
+
+def summarize_drop_grid(
+    grid: Dict[Tuple[str, int, str], CellResult]
+) -> List[str]:
+    """Printable rows for a drop grid (used by the bench harness)."""
+    rows = []
+    for (resolution, fps, pressure), cell in sorted(grid.items()):
+        stats = cell.stats
+        rows.append(
+            f"{resolution:>6}@{fps:<2} {pressure:<9} "
+            f"drop {stats.mean_drop_rate * 100:5.1f}% "
+            f"± {stats.drop_rate_ci * 100:4.1f} "
+            f"crash {stats.crash_rate * 100:5.1f}%"
+        )
+    return rows

@@ -1,0 +1,47 @@
+"""Android kernel memory-management substrate.
+
+Implements the mechanisms §2 of the paper describes: page pools with
+zRAM, the kswapd background reclaimer, the lmkd low-memory killer with
+its ``P = (1 - R/S) * 100`` metric, the mmcqd storage queue daemon, the
+direct-reclaim allocation path, and OnTrimMemory pressure signals.
+"""
+
+from .kswapd import Kswapd
+from .lmkd import Lmkd
+from .manager import MemoryManager
+from .memory import (
+    PAGES_PER_MB,
+    MemoryAccountingError,
+    MemoryState,
+    Watermarks,
+    mb_to_pages,
+    pages_to_mb,
+)
+from .mmcqd import Mmcqd
+from .pressure import MemoryPressureLevel, PressureMonitor, PressureThresholds
+from .process import MemProcess, OomAdj, PagePools, ProcessTable
+from .reclaim import ReclaimPlan, build_plan
+from .vmstat import VmStat
+
+__all__ = [
+    "Kswapd",
+    "Lmkd",
+    "MemoryManager",
+    "PAGES_PER_MB",
+    "MemoryAccountingError",
+    "MemoryState",
+    "Watermarks",
+    "mb_to_pages",
+    "pages_to_mb",
+    "Mmcqd",
+    "MemoryPressureLevel",
+    "PressureMonitor",
+    "PressureThresholds",
+    "MemProcess",
+    "OomAdj",
+    "PagePools",
+    "ProcessTable",
+    "ReclaimPlan",
+    "build_plan",
+    "VmStat",
+]

@@ -1,0 +1,295 @@
+"""Physical-memory accounting: pages, watermarks, and zRAM.
+
+Pages are 4 KiB, the Android/Linux default (§2 of the paper).  The
+global :class:`MemoryState` tracks how every page in the system is
+used; the invariant
+
+    free + file_clean + file_dirty + anon + zram_used + kernel_reserved
+        == total_pages
+
+holds after every operation and is enforced in ``check()`` (exercised
+heavily by the property tests).
+
+zRAM is the in-memory swap space Android uses instead of a disk swap
+partition: compressing an anonymous page frees a whole page but grows
+the compressed pool by ``1/ratio`` of a page, so the net gain per page
+is ``1 - 1/ratio``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+PAGE_SIZE_KB = 4
+PAGES_PER_MB = 1024 // PAGE_SIZE_KB  # 256
+
+
+def mb_to_pages(mb: float) -> int:
+    """Convert mebibytes to 4 KiB pages (rounded)."""
+    return round(mb * PAGES_PER_MB)
+
+
+def pages_to_mb(pages: int) -> float:
+    """Convert 4 KiB pages to mebibytes."""
+    return pages / PAGES_PER_MB
+
+
+@dataclass(frozen=True)
+class Watermarks:
+    """Free-page thresholds driving reclaim, as fractions of total RAM.
+
+    * below ``low`` — kswapd wakes and reclaims in the background;
+    * reaching ``high`` — kswapd goes back to sleep;
+    * below ``min`` — allocations enter direct reclaim (the blocking
+      path that stalls the allocating thread).
+    """
+
+    min_frac: float = 0.015
+    low_frac: float = 0.035
+    high_frac: float = 0.055
+
+    def resolve(self, total_pages: int) -> "ResolvedWatermarks":
+        return ResolvedWatermarks(
+            min_pages=math.ceil(total_pages * self.min_frac),
+            low_pages=math.ceil(total_pages * self.low_frac),
+            high_pages=math.ceil(total_pages * self.high_frac),
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedWatermarks:
+    min_pages: int
+    low_pages: int
+    high_pages: int
+
+
+class MemoryAccountingError(RuntimeError):
+    """Raised when a page-accounting operation would corrupt the books."""
+
+
+class MemoryState:
+    """Global page accounting for one device."""
+
+    def __init__(
+        self,
+        total_pages: int,
+        kernel_reserved: int = 0,
+        zram_ratio: float = 2.5,
+        watermarks: Watermarks = Watermarks(),
+        zram_disksize_fraction: float = 0.5,
+    ) -> None:
+        if total_pages <= 0:
+            raise ValueError("total_pages must be positive")
+        if not 1.0 < zram_ratio:
+            raise ValueError("zram_ratio must exceed 1.0")
+        if kernel_reserved >= total_pages:
+            raise ValueError("kernel_reserved must leave usable memory")
+        if zram_disksize_fraction <= 0:
+            raise ValueError("zram_disksize_fraction must be positive")
+        self.total_pages = total_pages
+        self.kernel_reserved = kernel_reserved
+        self.zram_ratio = zram_ratio
+        self.watermarks = watermarks.resolve(total_pages)
+        #: Android configures a fixed zram disksize (logical capacity);
+        #: ~50% of RAM is the conventional setting on low-RAM devices.
+        self.zram_disksize = round(total_pages * zram_disksize_fraction)
+
+        self.free = total_pages - kernel_reserved
+        self.file_clean = 0
+        self.file_dirty = 0
+        #: Dirty pages selected for reclaim whose write I/O is in flight;
+        #: they free when the write completes and are no longer owned by
+        #: any process (so kills/releases cannot double-free them).
+        self.file_writeback = 0
+        self.anon = 0
+        self.zram_stored = 0  # logical (uncompressed) pages held in zRAM
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def zram_used(self) -> int:
+        """Physical pages consumed by the compressed zRAM pool."""
+        return math.ceil(self.zram_stored / self.zram_ratio)
+
+    @property
+    def zram_capacity_left(self) -> int:
+        """Logical pages zRAM can still accept before its disksize."""
+        return max(0, self.zram_disksize - self.zram_stored)
+
+    @property
+    def cached(self) -> int:
+        """Page-cache pages (clean + dirty), Android's "cached" figure."""
+        return self.file_clean + self.file_dirty
+
+    @property
+    def available(self) -> int:
+        """Android's "available memory": free plus reclaimable cache."""
+        return self.free + self.cached
+
+    @property
+    def used_fraction(self) -> float:
+        """RAM utilization as Android reports it (1 - available/total)."""
+        return 1.0 - self.available / self.total_pages
+
+    @property
+    def below_low(self) -> bool:
+        return self.free < self.watermarks.low_pages
+
+    @property
+    def below_min(self) -> bool:
+        return self.free < self.watermarks.min_pages
+
+    @property
+    def above_high(self) -> bool:
+        return self.free >= self.watermarks.high_pages
+
+    # ------------------------------------------------------------------
+    # Transitions.  Every operation moves pages between pools and
+    # preserves the global invariant.
+    # ------------------------------------------------------------------
+    def _take_free(self, n: int, what: str) -> None:
+        if n < 0:
+            raise MemoryAccountingError(f"negative page count for {what}: {n}")
+        if n > self.free:
+            raise MemoryAccountingError(
+                f"cannot {what} {n} pages with only {self.free} free"
+            )
+        self.free -= n
+
+    def alloc_anon(self, n: int) -> None:
+        """Allocate ``n`` anonymous pages from the free pool."""
+        self._take_free(n, "alloc_anon")
+        self.anon += n
+
+    def alloc_file(self, n: int, dirty: bool = False) -> None:
+        """Populate ``n`` page-cache pages (a file read, or a write)."""
+        self._take_free(n, "alloc_file")
+        if dirty:
+            self.file_dirty += n
+        else:
+            self.file_clean += n
+
+    def free_anon(self, n: int) -> None:
+        """Release ``n`` anonymous pages (process exit or explicit free)."""
+        if n > self.anon:
+            raise MemoryAccountingError(f"free_anon {n} > anon {self.anon}")
+        self.anon -= n
+        self.free += n
+
+    def free_file(self, n_clean: int, n_dirty: int = 0) -> None:
+        """Release page-cache pages (process exit drops its cache share)."""
+        if n_clean > self.file_clean or n_dirty > self.file_dirty:
+            raise MemoryAccountingError("free_file exceeds cached pages")
+        self.file_clean -= n_clean
+        self.file_dirty -= n_dirty
+        self.free += n_clean + n_dirty
+
+    def drop_clean(self, n: int) -> None:
+        """Reclaim clean file pages: simply dropped (storage-backed)."""
+        if n > self.file_clean:
+            raise MemoryAccountingError(f"drop_clean {n} > clean {self.file_clean}")
+        self.file_clean -= n
+        self.free += n
+
+    def writeback(self, n: int) -> None:
+        """Mark dirty file pages clean (after the write I/O completes)."""
+        if n > self.file_dirty:
+            raise MemoryAccountingError(f"writeback {n} > dirty {self.file_dirty}")
+        self.file_dirty -= n
+        self.file_clean += n
+
+    def start_writeback(self, n: int) -> None:
+        """Detach ``n`` dirty pages into the in-flight writeback pool."""
+        if n > self.file_dirty:
+            raise MemoryAccountingError(
+                f"start_writeback {n} > dirty {self.file_dirty}"
+            )
+        self.file_dirty -= n
+        self.file_writeback += n
+
+    def complete_writeback(self, n: int) -> None:
+        """Free ``n`` in-flight writeback pages (their I/O finished)."""
+        if n > self.file_writeback:
+            raise MemoryAccountingError(
+                f"complete_writeback {n} > in-flight {self.file_writeback}"
+            )
+        self.file_writeback -= n
+        self.free += n
+
+    def swap_out(self, n: int) -> int:
+        """Compress ``n`` anonymous pages into zRAM.
+
+        Returns the *net* number of pages freed (n minus zRAM growth).
+        """
+        if n > self.anon:
+            raise MemoryAccountingError(f"swap_out {n} > anon {self.anon}")
+        if n > self.zram_capacity_left:
+            raise MemoryAccountingError(
+                f"swap_out {n} exceeds zram capacity {self.zram_capacity_left}"
+            )
+        used_before = self.zram_used
+        self.anon -= n
+        self.zram_stored += n
+        growth = self.zram_used - used_before
+        net = n - growth
+        self.free += net
+        return net
+
+    def swap_in(self, n: int) -> None:
+        """Decompress ``n`` pages from zRAM back to anonymous memory."""
+        if n > self.zram_stored:
+            raise MemoryAccountingError(f"swap_in {n} > stored {self.zram_stored}")
+        used_before = self.zram_used
+        self.zram_stored -= n
+        shrink = used_before - self.zram_used
+        need = n - shrink
+        if need > self.free:
+            # Roll back: the caller must reclaim before swapping in.
+            self.zram_stored += n
+            raise MemoryAccountingError(
+                f"swap_in needs {need} free pages, only {self.free} available"
+            )
+        self.free -= need
+        self.anon += n
+
+    def discard_zram(self, n: int) -> None:
+        """Drop ``n`` stored pages from zRAM (owning process died)."""
+        if n > self.zram_stored:
+            raise MemoryAccountingError(f"discard_zram {n} > {self.zram_stored}")
+        used_before = self.zram_used
+        self.zram_stored -= n
+        self.free += used_before - self.zram_used
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Assert the global accounting invariant (used by tests)."""
+        pools = (
+            self.free
+            + self.file_clean
+            + self.file_dirty
+            + self.file_writeback
+            + self.anon
+            + self.zram_used
+            + self.kernel_reserved
+        )
+        if pools != self.total_pages:
+            raise MemoryAccountingError(
+                f"invariant violated: pools sum to {pools}, "
+                f"total is {self.total_pages}"
+            )
+        for name in (
+            "free", "file_clean", "file_dirty", "file_writeback",
+            "anon", "zram_stored",
+        ):
+            if getattr(self, name) < 0:
+                raise MemoryAccountingError(f"{name} negative")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MemoryState free={pages_to_mb(self.free):.0f}MB "
+            f"cached={pages_to_mb(self.cached):.0f}MB "
+            f"anon={pages_to_mb(self.anon):.0f}MB "
+            f"zram={pages_to_mb(self.zram_used):.0f}MB>"
+        )

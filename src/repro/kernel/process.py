@@ -1,0 +1,156 @@
+"""Process model: oom_adj priorities, per-process page pools, LRU list.
+
+Android assigns every process an ``oom_adj`` score by importance
+(§2 "Killing of processes"); lmkd kills the highest score first.  The
+ActivityManager tracks cached/background processes in an LRU list whose
+*length* drives the OnTrimMemory pressure levels (§2, footnote 6).
+
+Each process's resident memory is split four ways — {file, anon} ×
+{hot, cold}:
+
+* *hot* pages form the working set, re-touched continuously while the
+  process runs; reclaiming them causes refaults (thrashing).
+* *cold* pages were touched once and forgotten; reclaiming them is free.
+
+Reclaimed pages move to ``swapped_*`` (anon, now in zRAM) or
+``evicted_*`` (file, dropped — refault requires disk I/O).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from .memory import PAGES_PER_MB
+
+
+class OomAdj:
+    """Canonical Android oom_adj scores for process classes."""
+
+    NATIVE = -800          # system daemons; never killed by lmkd
+    SYSTEM = -900
+    FOREGROUND = 0
+    VISIBLE = 100
+    PERCEPTIBLE = 200      # e.g. music playback, our MP-simulator pin
+    SERVICE = 500
+    HOME = 600
+    PREVIOUS = 700
+    CACHED_MIN = 900       # cached/background apps: 900..999
+    CACHED_MAX = 999
+
+
+@dataclass
+class PagePools:
+    """Per-process page pools, all in 4 KiB pages."""
+
+    file_hot: int = 0
+    file_cold: int = 0
+    anon_hot: int = 0
+    anon_cold: int = 0
+    swapped_hot: int = 0    # anon pages compressed into zRAM
+    swapped_cold: int = 0
+    evicted_hot: int = 0    # file pages dropped; refault = disk read
+    evicted_cold: int = 0
+
+    @property
+    def resident(self) -> int:
+        return self.file_hot + self.file_cold + self.anon_hot + self.anon_cold
+
+    @property
+    def resident_file(self) -> int:
+        return self.file_hot + self.file_cold
+
+    @property
+    def resident_anon(self) -> int:
+        return self.anon_hot + self.anon_cold
+
+    @property
+    def hot_total(self) -> int:
+        return self.file_hot + self.anon_hot + self.swapped_hot + self.evicted_hot
+
+    @property
+    def hot_missing(self) -> int:
+        """Hot (working-set) pages currently not resident."""
+        return self.swapped_hot + self.evicted_hot
+
+
+class MemProcess:
+    """A process as the memory manager sees it."""
+
+    def __init__(
+        self,
+        name: str,
+        oom_adj: int,
+        dirty_fraction: float = 0.15,
+    ) -> None:
+        if not -1000 <= oom_adj <= 1000:
+            raise ValueError(f"oom_adj out of range: {oom_adj}")
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise ValueError("dirty_fraction must be within [0, 1]")
+        self.name = name
+        self.oom_adj = oom_adj
+        #: Fraction of this process's file pages that are dirty (must be
+        #: written back before reclaim) — browsers cache segments dirtily.
+        self.dirty_fraction = dirty_fraction
+        self.pools = PagePools()
+        self.alive = True
+        self.threads: List[Any] = []  # sched.Thread instances
+        #: Callbacks invoked when lmkd/OOM kills this process.
+        self.on_kill: List[Any] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def is_cached(self) -> bool:
+        """Cached/background per Android's LRU-list definition."""
+        return self.alive and self.oom_adj >= OomAdj.CACHED_MIN
+
+    @property
+    def pss_pages(self) -> int:
+        """Proportional Set Size analog: resident pages plus the zRAM
+        share its swapped pages occupy (what ``dumpsys meminfo`` rolls
+        into TotalPSS for the process)."""
+        swapped = self.pools.swapped_hot + self.pools.swapped_cold
+        return self.pools.resident + round(swapped / 2.5)
+
+    @property
+    def pss_mb(self) -> float:
+        return self.pss_pages / PAGES_PER_MB
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.alive else "dead"
+        return f"<MemProcess {self.name} adj={self.oom_adj} {status}>"
+
+
+class ProcessTable:
+    """All processes on the device plus the cached-process LRU list."""
+
+    def __init__(self) -> None:
+        self.processes: List[MemProcess] = []
+
+    def add(self, process: MemProcess) -> MemProcess:
+        self.processes.append(process)
+        return process
+
+    @property
+    def alive(self) -> List[MemProcess]:
+        return [p for p in self.processes if p.alive]
+
+    @property
+    def cached_count(self) -> int:
+        """Number of cached/empty processes in the LRU list — the
+        quantity Android's pressure thresholds are defined over."""
+        return sum(1 for p in self.processes if p.is_cached)
+
+    def kill_candidates(self, min_adj: int) -> List[MemProcess]:
+        """Alive processes eligible at ``min_adj``, worst (highest adj)
+        first; ties broken towards the largest memory footprint, which
+        is how lmkd maximises reclaimed memory per kill."""
+        eligible = [p for p in self.alive if p.oom_adj >= min_adj]
+        eligible.sort(key=lambda p: (p.oom_adj, p.pss_pages), reverse=True)
+        return eligible
+
+    def find(self, name: str) -> Optional[MemProcess]:
+        for process in self.processes:
+            if process.name == name:
+                return process
+        return None

@@ -1,0 +1,178 @@
+"""Reclaim victim selection (shared by kswapd and direct reclaim).
+
+Builds a :class:`ReclaimPlan` for a requested number of pages, walking
+page pools from cheapest to most expensive:
+
+1. **cold file pages** of cached apps, then of important apps — clean
+   pages are simply dropped (storage-backed), dirty ones need writeback
+   (the clean/dirty split is made by the applier against the global
+   page-cache books);
+2. **cold anonymous pages**, compressed into zRAM (CPU cost);
+3. **hot (working-set) pages**, scanned last and reclaimed with low
+   efficiency — most are referenced again and rotated back, which is
+   what drives the lmkd pressure metric up: many pages scanned, few
+   reclaimed.
+
+Reclaiming a hot page plants a future refault: the owner keeps touching
+its working set, so the page comes straight back at the cost of a zRAM
+decompression or a disk read.  That loop is the thrashing mechanism
+behind the paper's frame drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .process import MemProcess
+
+#: Reclaim probability when scanning hot (recently referenced) pages
+#: with ample free memory.  The *effective* efficiency shrinks as free
+#: memory approaches the min watermark (see ``hot_efficiency``): under
+#: scarcity every scanned page was just referenced and rotates back,
+#: which is exactly what drives ``P = (1 - R/S) * 100`` towards 100 and
+#: makes the foreground app lmkd-eligible.
+HOT_RECLAIM_EFFICIENCY = 0.30
+#: Efficiency floor at complete scarcity (free == min watermark).
+HOT_EFFICIENCY_FLOOR = 0.05
+#: Share of every reclaim target taken from hot pools even while cold
+#: pages remain (LRU imprecision: active pages get demoted too).
+HOT_MIX_FRACTION = 0.20
+#: CPU cost (reference us) to scan one LRU page.
+SCAN_COST_US = 3.0
+#: CPU cost (reference us) to compress one anon page into zRAM.
+COMPRESS_COST_US = 30.0
+
+
+@dataclass
+class ReclaimPlan:
+    """Outcome of one victim-selection pass (not yet 'paid for' in CPU).
+
+    ``file_taken`` and ``anon_taken`` list (process, from_hot, pages)
+    selections; the applier moves the pages and splits file pages into
+    dropped-clean versus writeback against the global state.
+    """
+
+    scanned: int = 0
+    file_taken: List[Tuple[MemProcess, bool, int]] = field(default_factory=list)
+    anon_taken: List[Tuple[MemProcess, bool, int]] = field(default_factory=list)
+
+    @property
+    def file_pages(self) -> int:
+        return sum(n for _, _, n in self.file_taken)
+
+    @property
+    def anon_pages(self) -> int:
+        return sum(n for _, _, n in self.anon_taken)
+
+    @property
+    def selected(self) -> int:
+        return self.file_pages + self.anon_pages
+
+    @property
+    def cpu_cost_us(self) -> float:
+        """Reference-us CPU cost of executing this plan."""
+        return self.scanned * SCAN_COST_US + self.anon_pages * COMPRESS_COST_US
+
+    @property
+    def empty(self) -> bool:
+        return self.selected == 0
+
+
+def hot_efficiency(free: int, min_pages: int, high_pages: int) -> float:
+    """Effective hot-page reclaim probability for the current scarcity."""
+    span = max(1, high_pages - min_pages)
+    headroom = min(1.0, max(0.0, (free - min_pages) / span))
+    return HOT_EFFICIENCY_FLOOR + (
+        HOT_RECLAIM_EFFICIENCY - HOT_EFFICIENCY_FLOOR
+    ) * headroom
+
+
+def _reclaim_order(processes: List[MemProcess]) -> List[MemProcess]:
+    """Victim scan order: least-important (highest oom_adj) first."""
+    return sorted(
+        (p for p in processes if p.alive),
+        key=lambda p: p.oom_adj,
+        reverse=True,
+    )
+
+
+def build_plan(
+    processes: List[MemProcess],
+    target_pages: int,
+    allow_hot: bool = True,
+    protect: Tuple[MemProcess, ...] = (),
+    efficiency: float = HOT_RECLAIM_EFFICIENCY,
+) -> ReclaimPlan:
+    """Select up to ``target_pages`` of reclaim from ``processes``.
+
+    ``protect`` lists processes whose *hot* pages are skipped (e.g. the
+    allocating process during direct reclaim — the kernel avoids
+    stealing the faulting task's own working set first).  ``efficiency``
+    is the hot-page reclaim probability (see :func:`hot_efficiency`).
+    """
+    plan = ReclaimPlan()
+    remaining = target_pages
+    order = _reclaim_order(processes)
+
+    def proportional_pass(
+        pool_names, from_hot: bool, scan_divisor: float, skip_protected: bool
+    ) -> None:
+        """Take a share of each process's pools proportional to its pool
+        size — the global LRU does not respect process boundaries, so a
+        freshly-restarted background app and the foreground client both
+        contribute pages in proportion to what they hold."""
+        nonlocal remaining
+        if remaining <= 0:
+            return
+        sources = []
+        total_available = 0
+        for proc in order:
+            if skip_protected and proc in protect:
+                continue
+            for pool_name in pool_names:
+                available = getattr(proc.pools, pool_name)
+                if available > 0:
+                    sources.append((proc, pool_name, available))
+                    total_available += available
+        if total_available == 0:
+            return
+        goal = min(remaining, total_available)
+        for proc, pool_name, available in sources:
+            if remaining <= 0:
+                break
+            take = min(available, remaining,
+                       max(1, round(goal * available / total_available)))
+            plan.scanned += round(take / scan_divisor)
+            taken_list = (
+                plan.anon_taken if pool_name.startswith("anon") else plan.file_taken
+            )
+            taken_list.append((proc, from_hot, take))
+            remaining -= take
+
+    # The LRU is approximate: even with cold pages on hand, a share of
+    # every scan demotes and reclaims recently-referenced (hot) pages —
+    # the active/inactive lists only see referenced bits, not intent.
+    hot_share = 0
+    if allow_hot:
+        hot_share = round(remaining * HOT_MIX_FRACTION)
+        remaining -= hot_share
+
+    # Pass 1: cold pages — full reclaim efficiency, no protection (the
+    # kernel happily drops anyone's unreferenced pages).
+    proportional_pass(("file_cold", "anon_cold"), from_hot=False,
+                      scan_divisor=1.0, skip_protected=False)
+    remaining += hot_share
+    if remaining <= 0 or not allow_hot:
+        return plan
+
+    # Pass 2: hot FILE pages across all processes — the page cache
+    # (including the foreground client's media buffers) is cheaper to
+    # evict than anon working sets, which is why streaming clients
+    # refault from disk under pressure (§5's mmcqd interference).
+    proportional_pass(("file_hot",), from_hot=True,
+                      scan_divisor=max(efficiency, 1e-3), skip_protected=True)
+    # Pass 3: hot anon — compressed to zRAM, last resort.
+    proportional_pass(("anon_hot",), from_hot=True,
+                      scan_divisor=max(efficiency, 1e-3), skip_protected=True)
+    return plan

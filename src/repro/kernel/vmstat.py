@@ -1,0 +1,56 @@
+"""Kernel memory-management counters (``/proc/vmstat`` analog).
+
+The low-memory killer's pressure metric is computed from a sliding
+window over these counters exactly as §2 of the paper describes:
+``P = (1 - R/S) * 100`` where ``R`` is pages reclaimed and ``S`` pages
+scanned in the recent window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Tuple
+
+from ..sim.clock import Time, seconds
+
+
+@dataclass
+class VmStat:
+    """Monotonic counters updated by the reclaim and fault paths."""
+
+    pgscan: int = 0          # pages examined by reclaim
+    pgsteal: int = 0         # pages actually reclaimed
+    pswpout: int = 0         # anon pages compressed to zRAM
+    pswpin: int = 0          # anon pages decompressed from zRAM
+    pgfault: int = 0         # minor faults (zRAM refaults)
+    pgmajfault: int = 0      # major faults (disk refaults)
+    allocstall: int = 0      # direct-reclaim entries
+    pgwriteback: int = 0     # dirty file pages written back
+    kswapd_wakeups: int = 0
+    lmkd_kills: int = 0
+    oom_kills: int = 0
+
+    _window: Deque[Tuple[Time, int, int]] = field(default_factory=deque, repr=False)
+
+    def record_scan(self, now: Time, scanned: int, reclaimed: int) -> None:
+        """Record one reclaim batch for the windowed pressure metric."""
+        self.pgscan += scanned
+        self.pgsteal += reclaimed
+        self._window.append((now, scanned, reclaimed))
+
+    def pressure(self, now: Time, window: Time = seconds(1.0)) -> float:
+        """The lmkd pressure metric over the trailing ``window`` ticks.
+
+        ``P = (1 - reclaimed/scanned) * 100``; 0 when nothing was
+        scanned recently (no reclaim activity means no memory pressure).
+        """
+        cutoff = now - window
+        while self._window and self._window[0][0] < cutoff:
+            self._window.popleft()
+        scanned = sum(entry[1] for entry in self._window)
+        if scanned == 0:
+            return 0.0
+        reclaimed = sum(entry[2] for entry in self._window)
+        reclaimed = min(reclaimed, scanned)
+        return (1.0 - reclaimed / scanned) * 100.0

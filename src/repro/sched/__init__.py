@@ -1,0 +1,26 @@
+"""CPU scheduling substrate: cores, threads, and the priority scheduler."""
+
+from .cpu import Core, make_cores
+from .scheduler import (
+    DEFAULT_QUANTUM,
+    CpuWork,
+    IoWait,
+    SchedClass,
+    Scheduler,
+    Thread,
+)
+from .states import CPU_DEMANDING_STATES, StateAccounting, ThreadState
+
+__all__ = [
+    "Core",
+    "make_cores",
+    "DEFAULT_QUANTUM",
+    "CpuWork",
+    "IoWait",
+    "SchedClass",
+    "Scheduler",
+    "Thread",
+    "CPU_DEMANDING_STATES",
+    "StateAccounting",
+    "ThreadState",
+]

@@ -1,0 +1,498 @@
+"""Multi-core preemptive priority scheduler.
+
+The model captures the three scheduling facts §5 of the paper hinges on:
+
+1. *mmcqd* (storage I/O daemon) runs in a strictly higher scheduling
+   class than foreground threads, so its wakeups **preempt** video
+   threads (``Runnable (Preempted)`` time, Table 5).
+2. *kswapd* runs in the **same** class as foreground threads, so video
+   threads must fair-share the CPU with it rather than being preempted
+   by it (§5 "the CPU is almost never preempted for kswapd").
+3. Threads blocked on disk I/O or direct reclaim sit in
+   ``Uninterruptible Sleep`` and render nothing while they wait.
+
+Work is expressed in reference microseconds (see :mod:`repro.sched.cpu`).
+A thread executes a FIFO queue of work items; ``CpuWork`` consumes core
+time and ``IoWait`` blocks the thread until an external completion.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from ..sim.clock import Time, millis
+from ..sim.engine import Simulator
+from .cpu import Core
+from .states import StateAccounting, ThreadState
+
+#: Default scheduling quantum (round-robin slice) in ticks.
+DEFAULT_QUANTUM: Time = millis(4)
+
+
+class SchedClass(enum.IntEnum):
+    """Strict priority classes; lower value always runs first.
+
+    ``IO`` models the elevated priority of block-I/O kernel threads
+    (mmcqd); ``FOREGROUND`` holds app threads *and* kswapd, per the
+    paper's observation that they share the CPU fairly; ``BACKGROUND``
+    is for cached/background app threads.
+    """
+
+    IO = 0
+    FOREGROUND = 1
+    BACKGROUND = 2
+    IDLE = 3
+
+
+class CpuWork:
+    """A unit of CPU work: ``ref_us`` microseconds on a 1 GHz core."""
+
+    __slots__ = ("remaining", "on_complete", "label")
+
+    def __init__(
+        self,
+        ref_us: float,
+        on_complete: Optional[Callable[[], None]] = None,
+        label: str = "",
+    ) -> None:
+        if ref_us <= 0:
+            raise ValueError(f"work must be positive, got {ref_us}")
+        self.remaining = float(ref_us)
+        self.on_complete = on_complete
+        self.label = label
+
+
+class IoWait:
+    """A blocking point: the thread sleeps uninterruptibly until
+    :meth:`Scheduler.io_complete` is called for it.
+
+    ``start`` is invoked exactly once, when the wait reaches the head of
+    the thread's queue — typically it issues the storage request.
+    """
+
+    __slots__ = ("start", "on_complete", "label", "started")
+
+    def __init__(
+        self,
+        start: Callable[[], None],
+        on_complete: Optional[Callable[[], None]] = None,
+        label: str = "io",
+    ) -> None:
+        self.start = start
+        self.on_complete = on_complete
+        self.label = label
+        self.started = False
+
+
+class Thread:
+    """A schedulable thread.
+
+    Threads are created via :meth:`Scheduler.spawn`.  Components drive
+    them exclusively through :meth:`post` (enqueue work) — all state
+    transitions are owned by the scheduler.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sched_class: SchedClass,
+        scheduler: "Scheduler",
+        process: Any = None,
+    ) -> None:
+        self.name = name
+        self.sched_class = sched_class
+        self.scheduler = scheduler
+        self.process = process
+        self.queue: Deque[Any] = deque()
+        self.accounting = StateAccounting(ThreadState.SLEEPING, scheduler.sim.now)
+        self.last_core: Optional[int] = None
+        #: Restrict scheduling to these core indices (None = any core).
+        #: Implements the §7 suggestion of coordinating daemon/core
+        #: placement to cut migration overhead.
+        self.allowed_cores: Optional[frozenset] = None
+        self.migrations = 0
+        self.preemptions_suffered = 0
+        self.dead = False
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def state(self) -> ThreadState:
+        return self.accounting.current
+
+    def post(
+        self,
+        ref_us: float,
+        on_complete: Optional[Callable[[], None]] = None,
+        label: str = "",
+    ) -> None:
+        """Enqueue CPU work and wake the thread if it is sleeping."""
+        self.scheduler.post(self, CpuWork(ref_us, on_complete, label))
+
+    def post_io(
+        self,
+        start: Callable[[], None],
+        on_complete: Optional[Callable[[], None]] = None,
+        label: str = "io",
+    ) -> None:
+        """Enqueue a blocking I/O wait (see :class:`IoWait`)."""
+        self.scheduler.post(self, IoWait(start, on_complete, label))
+
+    def pin_to(self, core_indices) -> None:
+        """Restrict this thread to a set of cores (CPU affinity)."""
+        self.allowed_cores = frozenset(core_indices)
+
+    def time_in(self, state: ThreadState) -> Time:
+        """Total ticks this thread has spent in ``state`` so far."""
+        return self.accounting.total(state, self.scheduler.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Thread {self.name} {self.state.value}>"
+
+
+class Scheduler:
+    """Priority scheduler over a fixed set of cores."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cores: List[Core],
+        quantum: Time = DEFAULT_QUANTUM,
+    ) -> None:
+        if not cores:
+            raise ValueError("at least one core is required")
+        self.sim = sim
+        self.cores = cores
+        self.quantum = quantum
+        self.threads: List[Thread] = []
+        self._runqueues: Dict[SchedClass, Deque[Thread]] = {
+            cls: deque() for cls in SchedClass
+        }
+        self.context_switches = 0
+        self.preemption_count = 0
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        name: str,
+        sched_class: SchedClass = SchedClass.FOREGROUND,
+        process: Any = None,
+    ) -> Thread:
+        """Create a thread, initially sleeping with an empty work queue."""
+        thread = Thread(name, sched_class, self, process)
+        self.threads.append(thread)
+        return thread
+
+    def kill(self, thread: Thread) -> None:
+        """Terminate a thread: drop queued work, free its core if running."""
+        if thread.dead:
+            return
+        thread.dead = True
+        thread.queue.clear()
+        if thread.state is ThreadState.RUNNING:
+            core = self._core_of(thread)
+            self._stop_slice(core, retire=True)
+            self._transition(thread, ThreadState.DEAD)
+            core.current = None
+            self._dispatch()
+        else:
+            self._remove_from_runqueue(thread)
+            self._transition(thread, ThreadState.DEAD)
+
+    # ------------------------------------------------------------------
+    # Work submission
+    # ------------------------------------------------------------------
+    def post(self, thread: Thread, item: Any) -> None:
+        """Enqueue a work item; wake the thread when appropriate."""
+        if thread.dead:
+            return
+        thread.queue.append(item)
+        if thread.state is ThreadState.SLEEPING:
+            self._advance(thread)
+
+    def io_complete(self, thread: Thread) -> None:
+        """Signal completion of the IoWait at the head of ``thread``'s queue."""
+        if thread.dead:
+            return
+        if not thread.queue or not isinstance(thread.queue[0], IoWait):
+            raise RuntimeError(f"{thread.name}: io_complete with no pending IoWait")
+        item = thread.queue.popleft()
+        if item.on_complete is not None:
+            item.on_complete()
+        if thread.state is ThreadState.UNINTERRUPTIBLE:
+            self._advance(thread)
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    def _advance(self, thread: Thread) -> None:
+        """Process the head of ``thread``'s queue from an idle state."""
+        if thread.dead:
+            return
+        while thread.queue and isinstance(thread.queue[0], IoWait):
+            item = thread.queue[0]
+            if not item.started:
+                item.started = True
+                self._transition(thread, ThreadState.UNINTERRUPTIBLE)
+                item.start()
+                return
+            # Already started and not yet complete: stay blocked.
+            return
+        if not thread.queue:
+            if thread.state is not ThreadState.SLEEPING:
+                self._transition(thread, ThreadState.SLEEPING)
+            return
+        # Head is CPU work: become runnable and try to get a core.
+        if thread.state not in (
+            ThreadState.RUNNABLE,
+            ThreadState.RUNNABLE_PREEMPTED,
+            ThreadState.RUNNING,
+        ):
+            self._transition(thread, ThreadState.RUNNABLE)
+            self._runqueues[thread.sched_class].append(thread)
+            self.sim.emit("sched.wakeup", thread=thread)
+        self._dispatch()
+
+    def _transition(self, thread: Thread, new_state: ThreadState) -> None:
+        old = thread.accounting.current
+        if old is new_state:
+            return
+        thread.accounting.switch(new_state, self.sim.now)
+        self.sim.emit("sched.state", thread=thread, old=old, new=new_state)
+
+    def _core_of(self, thread: Thread) -> Core:
+        for core in self.cores:
+            if core.current is thread:
+                return core
+        raise RuntimeError(f"{thread.name} marked RUNNING but on no core")
+
+    def _remove_from_runqueue(self, thread: Thread) -> None:
+        queue = self._runqueues[thread.sched_class]
+        try:
+            queue.remove(thread)
+        except ValueError:
+            pass
+
+    def _next_runnable(self) -> Optional[Thread]:
+        for cls in SchedClass:
+            queue = self._runqueues[cls]
+            if queue:
+                return queue[0]
+        return None
+
+    def _take_runnable(self) -> Optional[Thread]:
+        for cls in SchedClass:
+            queue = self._runqueues[cls]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _allowed(self, thread: Thread, core: Core) -> bool:
+        return thread.allowed_cores is None or core.index in thread.allowed_cores
+
+    def _pick_core(self, thread: Thread) -> Optional[Core]:
+        """Prefer the thread's previous core (cache warmth), else the
+        fastest idle core the thread's affinity mask allows."""
+        if thread.last_core is not None:
+            previous = self.cores[thread.last_core]
+            if previous.idle and self._allowed(thread, previous):
+                return previous
+        idle = [
+            core for core in self.cores
+            if core.idle and self._allowed(thread, core)
+        ]
+        if not idle:
+            return None
+        return max(idle, key=lambda core: (core.freq_ghz, -core.index))
+
+    def _dispatch(self) -> None:
+        """Fill idle cores, then preempt lower-class threads if needed.
+
+        Candidates are visited in priority-then-FIFO order.  A candidate
+        whose affinity mask blocks placement is skipped (no head-of-line
+        blocking); an *unrestricted* candidate that cannot be placed
+        ends the pass — nothing behind it could be placed either.
+        """
+        placed = True
+        while placed:
+            placed = False
+            for cls in SchedClass:
+                for thread in list(self._runqueues[cls]):
+                    core = self._pick_core(thread)
+                    if core is None:
+                        victim_core = self._preemption_victim(cls, thread)
+                        if victim_core is None:
+                            if thread.allowed_cores is None:
+                                return
+                            continue  # affinity-blocked: try the next
+                        self._runqueues[cls].remove(thread)
+                        self._preempt(victim_core, thread)
+                    else:
+                        self._runqueues[cls].remove(thread)
+                        self._start_slice(thread, core)
+                    placed = True
+                    break
+                if placed:
+                    break
+
+    def _preemption_victim(
+        self, sched_class: SchedClass, candidate: Thread
+    ) -> Optional[Core]:
+        """Find the running thread of the lowest priority strictly below
+        ``sched_class`` on a core ``candidate`` may use; ties broken
+        towards the longest-running slice."""
+        victim: Optional[Core] = None
+        for core in self.cores:
+            running = core.current
+            if running is None or running.sched_class <= sched_class:
+                continue
+            if not self._allowed(candidate, core):
+                continue
+            if (
+                victim is None
+                or running.sched_class > victim.current.sched_class
+                or (
+                    running.sched_class == victim.current.sched_class
+                    and core.slice_started < victim.slice_started
+                )
+            ):
+                victim = core
+        return victim
+
+    def _preempt(self, core: Core, victor: Thread) -> None:
+        victim = core.current
+        assert victim is not None
+        self._stop_slice(core, retire=True)
+        self._transition(victim, ThreadState.RUNNABLE_PREEMPTED)
+        victim.preemptions_suffered += 1
+        self.preemption_count += 1
+        self._runqueues[victim.sched_class].append(victim)
+        core.current = None
+        self.sim.emit(
+            "sched.preempt", victim=victim, victor=victor, core=core.index,
+            kind="preempt",
+        )
+        self._start_slice(victor, core)
+
+    def _start_slice(self, thread: Thread, core: Core) -> None:
+        assert core.idle, f"core {core.index} busy"
+        if not thread.queue or not isinstance(thread.queue[0], CpuWork):
+            # The thread was requeued while its last work item finished
+            # (mid-handler preemption): nothing to run after all.
+            self._transition(thread, ThreadState.SLEEPING)
+            self._advance(thread)
+            self._dispatch()
+            return
+        if thread.last_core is not None and thread.last_core != core.index:
+            thread.migrations += 1
+            self.sim.emit(
+                "sched.migrate",
+                thread=thread,
+                src=thread.last_core,
+                dst=core.index,
+            )
+        thread.last_core = core.index
+        core.current = thread
+        core.slice_started = self.sim.now
+        self._transition(thread, ThreadState.RUNNING)
+        self.context_switches += 1
+        self.sim.emit("sched.switch", thread=thread, core=core.index)
+        self._arm_slice_end(core)
+
+    def _arm_slice_end(self, core: Core) -> None:
+        thread = core.current
+        assert thread is not None and thread.queue
+        item = thread.queue[0]
+        assert isinstance(item, CpuWork)
+        to_finish = core.work_to_time(item.remaining)
+        run_for = min(to_finish, self.quantum)
+        core.slice_started = self.sim.now
+        core.slice_end_event = self.sim.schedule(
+            run_for, self._slice_end, core, label=f"slice:{thread.name}"
+        )
+
+    def _stop_slice(self, core: Core, retire: bool) -> None:
+        """Cancel the pending slice-end event, optionally retiring the work
+        executed so far in the open slice.
+
+        When no slice event is armed we are inside this core's own
+        ``_slice_end`` handler, which has already retired the elapsed
+        work — retiring again would double-count it.
+        """
+        if core.slice_end_event is None:
+            return
+        self.sim.cancel(core.slice_end_event)
+        core.slice_end_event = None
+        if retire and core.current is not None:
+            elapsed = self.sim.now - core.slice_started
+            core.busy_time += elapsed
+            if elapsed > 0 and core.current.queue:
+                item = core.current.queue[0]
+                if isinstance(item, CpuWork):
+                    item.remaining -= core.time_to_work(elapsed)
+
+    def _slice_end(self, core: Core) -> None:
+        thread = core.current
+        assert thread is not None
+        core.slice_end_event = None
+        elapsed = self.sim.now - core.slice_started
+        core.busy_time += elapsed
+        item = thread.queue[0]
+        assert isinstance(item, CpuWork)
+        item.remaining -= core.time_to_work(elapsed)
+
+        if item.remaining <= 1e-9:
+            thread.queue.popleft()
+            if item.on_complete is not None:
+                item.on_complete()
+            if thread.dead:
+                # on_complete (or a preceding callback) killed the thread.
+                if core.current is thread:
+                    core.current = None
+                self._dispatch()
+                return
+            if core.current is not thread:
+                # on_complete re-entered the scheduler (a wakeup preempted
+                # this very core, or a kill freed it); the nested call
+                # already made all scheduling decisions for this core.
+                self._dispatch()
+                return
+
+        # Decide what happens to the core next.
+        has_more_cpu_work = bool(thread.queue) and isinstance(thread.queue[0], CpuWork)
+        waiter = self._next_runnable()
+        must_rotate = waiter is not None and waiter.sched_class <= thread.sched_class
+
+        if has_more_cpu_work and not must_rotate:
+            self._arm_slice_end(core)
+            return
+
+        core.current = None
+        if has_more_cpu_work:
+            # Involuntary rotation: still runnable but descheduled.
+            self._transition(thread, ThreadState.RUNNABLE_PREEMPTED)
+            thread.preemptions_suffered += 1
+            self.preemption_count += 1
+            self._runqueues[thread.sched_class].append(thread)
+            self.sim.emit(
+                "sched.preempt", victim=thread, victor=waiter, core=core.index,
+                kind="rotate",
+            )
+        else:
+            # Out of CPU work: block on IO, or sleep.
+            self._transition(thread, ThreadState.SLEEPING)
+            self._advance(thread)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def utilization(self, horizon: Time) -> float:
+        """Mean fraction of core time spent busy over ``horizon`` ticks."""
+        if horizon <= 0:
+            return 0.0
+        busy = sum(core.busy_time for core in self.cores)
+        return busy / (horizon * len(self.cores))

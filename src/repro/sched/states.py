@@ -1,0 +1,72 @@
+"""Thread-state taxonomy and per-thread time accounting.
+
+The states mirror what Perfetto exposes for Linux scheduling traces,
+because §5 of the paper reports exactly these:
+
+* ``RUNNING`` — on a CPU core.
+* ``RUNNABLE`` — woken and waiting for a core (voluntary wait).
+* ``RUNNABLE_PREEMPTED`` — forcibly descheduled while still runnable,
+  either by a higher-priority wakeup or a quantum rotation with waiters.
+* ``SLEEPING`` — blocked with nothing to run (interruptible sleep).
+* ``UNINTERRUPTIBLE`` — blocked on I/O or direct reclaim (the Linux
+  ``D`` state); this is where thrashing hurts.
+* ``DEAD`` — exited or killed (terminal).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from ..sim.clock import Time
+
+
+class ThreadState(enum.Enum):
+    """Scheduler-visible thread states (Perfetto naming)."""
+
+    RUNNING = "Running"
+    RUNNABLE = "Runnable"
+    RUNNABLE_PREEMPTED = "Runnable (Preempted)"
+    SLEEPING = "Sleeping"
+    UNINTERRUPTIBLE = "Uninterruptible Sleep"
+    DEAD = "Dead"
+
+
+#: States in which a thread wants (or holds) a CPU.
+CPU_DEMANDING_STATES = frozenset(
+    {ThreadState.RUNNING, ThreadState.RUNNABLE, ThreadState.RUNNABLE_PREEMPTED}
+)
+
+
+class StateAccounting:
+    """Accumulates time spent per state for one thread.
+
+    The accounting is interval-exact: ``switch`` closes the open interval
+    at the current time and opens a new one, so the per-state totals of a
+    finished thread partition its lifetime.
+    """
+
+    def __init__(self, initial: ThreadState, start_time: Time) -> None:
+        self.current = initial
+        self.since: Time = start_time
+        self.totals: Dict[ThreadState, Time] = {state: 0 for state in ThreadState}
+
+    def switch(self, new_state: ThreadState, now: Time) -> Time:
+        """Move to ``new_state`` at ``now``; return the closed interval length."""
+        elapsed = now - self.since
+        self.totals[self.current] += elapsed
+        self.current = new_state
+        self.since = now
+        return elapsed
+
+    def flush(self, now: Time) -> None:
+        """Fold the open interval into the totals without changing state."""
+        self.totals[self.current] += now - self.since
+        self.since = now
+
+    def total(self, state: ThreadState, now: Time) -> Time:
+        """Total time in ``state`` including the open interval up to ``now``."""
+        result = self.totals[state]
+        if self.current is state:
+            result += now - self.since
+        return result

@@ -1,0 +1,32 @@
+"""Discrete-event simulation engine underpinning the device model."""
+
+from .clock import (
+    TICKS_PER_MS,
+    TICKS_PER_SECOND,
+    Time,
+    micros,
+    millis,
+    seconds,
+    to_millis,
+    to_seconds,
+)
+from .engine import SimulationError, Simulator
+from .events import Event, EventQueue
+from .rng import RandomStreams, derive_seed
+
+__all__ = [
+    "TICKS_PER_MS",
+    "TICKS_PER_SECOND",
+    "Time",
+    "micros",
+    "millis",
+    "seconds",
+    "to_millis",
+    "to_seconds",
+    "SimulationError",
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "derive_seed",
+]

@@ -1,0 +1,48 @@
+"""Simulated-time representation and conversions.
+
+All simulator timestamps are integers counting **microseconds** since the
+start of the simulation.  Integer time keeps event ordering exact and
+reproducible: two events scheduled for the same instant never reorder due
+to floating-point rounding, and snapshots written by one run replay
+bit-identically in another.
+
+The helpers here convert between human units and ticks.  Library code
+should accept seconds/milliseconds at its public boundary and convert to
+ticks immediately.
+"""
+
+from __future__ import annotations
+
+#: Type alias used throughout the simulator for timestamps and durations.
+Time = int
+
+#: Number of ticks per second (ticks are microseconds).
+TICKS_PER_SECOND: Time = 1_000_000
+
+#: Number of ticks per millisecond.
+TICKS_PER_MS: Time = 1_000
+
+
+def seconds(value: float) -> Time:
+    """Convert a duration in seconds to ticks (rounded to nearest tick)."""
+    return round(value * TICKS_PER_SECOND)
+
+
+def millis(value: float) -> Time:
+    """Convert a duration in milliseconds to ticks."""
+    return round(value * TICKS_PER_MS)
+
+
+def micros(value: float) -> Time:
+    """Convert a duration in microseconds to ticks (identity for ints)."""
+    return round(value)
+
+
+def to_seconds(ticks: Time) -> float:
+    """Convert ticks back to (float) seconds, for reporting."""
+    return ticks / TICKS_PER_SECOND
+
+
+def to_millis(ticks: Time) -> float:
+    """Convert ticks back to (float) milliseconds, for reporting."""
+    return ticks / TICKS_PER_MS

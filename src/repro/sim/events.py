@@ -1,0 +1,106 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a callback scheduled at an absolute simulated time.
+Events at the same instant fire in scheduling order (FIFO), which the
+sequence number guarantees.  Cancellation is O(1): the event is flagged
+and skipped when it reaches the head of the queue, the standard "lazy
+deletion" idiom for heap-backed schedulers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from .clock import Time
+
+
+class Event:
+    """A single scheduled callback.
+
+    Instances are created by :meth:`repro.sim.engine.Simulator.schedule`;
+    user code holds them only to call :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: Time,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent this event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = self.label or getattr(self.fn, "__name__", repr(self.fn))
+        return f"<Event t={self.time} #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(
+        self,
+        time: Time,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time`` and return the event."""
+        event = Event(time, next(self._counter), fn, args, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None when empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[Time]:
+        """Return the time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Account for one externally-cancelled event (keeps len() honest)."""
+        if self._live > 0:
+            self._live -= 1

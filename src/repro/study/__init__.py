@@ -1,0 +1,77 @@
+"""User-study substrates: population generator, analysis, surveys (§3)."""
+
+from .analysis import (
+    available_memory_by_state,
+    clean,
+    fraction_with_any_signal,
+    fraction_with_critical_over,
+    high_pressure_time_fractions,
+    median_utilizations,
+    signal_rates,
+    state_episodes,
+    study_summary,
+    time_in_states,
+    top_pressure_devices,
+    transition_stats,
+    utilization_cdf,
+)
+from .export import (
+    load_device_log,
+    load_population,
+    save_device_log,
+    save_population,
+)
+from .generator import (
+    MANUFACTURERS,
+    PopulationConfig,
+    generate_device_log,
+    generate_population,
+)
+from .signalcapturer import (
+    CAPTURER_FOOTPRINT_MB,
+    STATE_CODES,
+    STATE_NAMES,
+    DeviceInfo,
+    DeviceLog,
+)
+from .survey import (
+    ACTIVITIES,
+    DmosSurvey,
+    UsageSurvey,
+    run_dmos_survey,
+    run_usage_survey,
+)
+
+__all__ = [
+    "available_memory_by_state",
+    "clean",
+    "fraction_with_any_signal",
+    "fraction_with_critical_over",
+    "high_pressure_time_fractions",
+    "median_utilizations",
+    "signal_rates",
+    "state_episodes",
+    "study_summary",
+    "time_in_states",
+    "top_pressure_devices",
+    "transition_stats",
+    "utilization_cdf",
+    "load_device_log",
+    "load_population",
+    "save_device_log",
+    "save_population",
+    "MANUFACTURERS",
+    "PopulationConfig",
+    "generate_device_log",
+    "generate_population",
+    "CAPTURER_FOOTPRINT_MB",
+    "STATE_CODES",
+    "STATE_NAMES",
+    "DeviceInfo",
+    "DeviceLog",
+    "ACTIVITIES",
+    "DmosSurvey",
+    "UsageSurvey",
+    "run_dmos_survey",
+    "run_usage_survey",
+]

@@ -1,0 +1,271 @@
+"""User-study analysis pipeline (§3's notebooks, as a library).
+
+Every function takes the population of :class:`DeviceLog` records and
+computes one of the paper's reported statistics, after the paper's own
+cleaning step (:func:`clean`): keep devices with at least 10 hours of
+interactive (screen-on) samples and restrict analysis to those samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .signalcapturer import STATE_CODES, STATE_NAMES, DeviceLog
+
+HIGH_PRESSURE_CODES = (
+    STATE_CODES["moderate"], STATE_CODES["low"], STATE_CODES["critical"]
+)
+
+
+def clean(
+    population: Sequence[DeviceLog],
+    min_interactive_hours: float = 10.0,
+) -> List[DeviceLog]:
+    """The paper's cleaning: devices with >= 10 interactive hours, and
+    only their interactive samples (48 of 80 devices survived)."""
+    kept = []
+    for log in population:
+        if log.interactive_hours >= min_interactive_hours and bool(
+            log.interactive.any()
+        ):
+            kept.append(log.interactive_samples())
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Figure 2: CDF of median RAM utilization
+# ----------------------------------------------------------------------
+def median_utilizations(devices: Sequence[DeviceLog]) -> np.ndarray:
+    """Per-device median RAM utilization (the Figure 2 sample)."""
+    return np.array([float(np.median(log.utilization())) for log in devices])
+
+
+def utilization_cdf(devices: Sequence[DeviceLog]) -> List[Tuple[float, float]]:
+    """(median utilization, cumulative fraction) points of Figure 2."""
+    values = np.sort(median_utilizations(devices))
+    n = len(values)
+    return [(float(v), (i + 1) / n) for i, v in enumerate(values)]
+
+
+# ----------------------------------------------------------------------
+# Figure 3: signal frequency per device
+# ----------------------------------------------------------------------
+@dataclass
+class SignalRates:
+    """Signals per hour by level for one device."""
+
+    device_id: str
+    ram_gb: float
+    moderate_per_hour: float
+    low_per_hour: float
+    critical_per_hour: float
+
+    @property
+    def total_per_hour(self) -> float:
+        return self.moderate_per_hour + self.low_per_hour + self.critical_per_hour
+
+
+def signal_rates(devices: Sequence[DeviceLog]) -> List[SignalRates]:
+    """Per-device signal rates (Figure 3's scatter points).
+
+    Rates are normalised by the device's full logged duration, matching
+    the app which records signals whenever the device is on.
+    """
+    results = []
+    for log in devices:
+        hours = max(log.hours_logged, 1e-9)
+        counts = {code: 0 for code in HIGH_PRESSURE_CODES}
+        for _, code in log.signals:
+            if code in counts:
+                counts[code] += 1
+        results.append(
+            SignalRates(
+                device_id=log.info.device_id,
+                ram_gb=log.info.total_mb / 1024.0,
+                moderate_per_hour=counts[STATE_CODES["moderate"]] / hours,
+                low_per_hour=counts[STATE_CODES["low"]] / hours,
+                critical_per_hour=counts[STATE_CODES["critical"]] / hours,
+            )
+        )
+    return results
+
+
+def fraction_with_any_signal(rates: Sequence[SignalRates]) -> float:
+    """Fraction of devices receiving >= 1 signal per hour (§3: 63%)."""
+    return sum(1 for r in rates if r.total_per_hour >= 1.0) / max(1, len(rates))
+
+
+def fraction_with_critical_over(
+    rates: Sequence[SignalRates], per_hour: float = 10.0
+) -> float:
+    """Fraction with > ``per_hour`` Critical signals/hour (§3: 19%)."""
+    return sum(1 for r in rates if r.critical_per_hour > per_hour) / max(
+        1, len(rates)
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4: time in pressure states
+# ----------------------------------------------------------------------
+def time_in_states(log: DeviceLog) -> Dict[str, float]:
+    """Fraction of (interactive) time per pressure state."""
+    n = len(log.state)
+    if n == 0:
+        return {name: 0.0 for name in STATE_CODES}
+    return {
+        name: float((log.state == code).sum()) / n
+        for name, code in STATE_CODES.items()
+    }
+
+
+def high_pressure_time_fractions(devices: Sequence[DeviceLog]) -> List[dict]:
+    """Per-device rows behind Figure 4."""
+    rows = []
+    for log in devices:
+        fractions = time_in_states(log)
+        rows.append(
+            {
+                "device_id": log.info.device_id,
+                "ram_gb": log.info.total_mb / 1024.0,
+                **fractions,
+                "high_total": sum(
+                    fractions[name] for name in ("moderate", "low", "critical")
+                ),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 5: available memory by state, top-pressure devices
+# ----------------------------------------------------------------------
+def top_pressure_devices(
+    devices: Sequence[DeviceLog], count: int = 5
+) -> List[DeviceLog]:
+    """Devices spending the most time out of the Normal state."""
+    ranked = sorted(
+        devices,
+        key=lambda log: float((log.state != STATE_CODES["normal"]).mean())
+        if len(log.state)
+        else 0.0,
+        reverse=True,
+    )
+    return list(ranked[:count])
+
+
+def available_memory_by_state(log: DeviceLog) -> Dict[str, dict]:
+    """Distribution summary of available MB per state (Figure 5)."""
+    result = {}
+    for name, code in STATE_CODES.items():
+        values = log.available_mb[log.state == code]
+        if len(values) == 0:
+            continue
+        result[name] = {
+            "mean": float(values.mean()),
+            "p25": float(np.percentile(values, 25)),
+            "median": float(np.median(values)),
+            "p75": float(np.percentile(values, 75)),
+            "n": int(len(values)),
+        }
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6: state transitions and dwell times
+# ----------------------------------------------------------------------
+def state_episodes(log: DeviceLog) -> List[Tuple[int, int, int]]:
+    """(state code, start index, duration) runs of the state series."""
+    state = log.state
+    if len(state) == 0:
+        return []
+    changes = np.flatnonzero(np.diff(state) != 0) + 1
+    boundaries = np.concatenate(([0], changes, [len(state)]))
+    return [
+        (int(state[start]), int(start), int(end - start))
+        for start, end in zip(boundaries[:-1], boundaries[1:])
+    ]
+
+
+def transition_stats(
+    devices: Sequence[DeviceLog],
+    min_nonnormal_fraction: float = 0.3,
+) -> Dict[str, dict]:
+    """Figure 6: for each origin state, where devices go next (percent)
+    and the dwell-time quartiles before leaving.
+
+    Restricted to devices spending more than ``min_nonnormal_fraction``
+    of their time out of Normal — the paper's nine-device subset.
+    """
+    selected = [
+        log
+        for log in devices
+        if len(log.state)
+        and float((log.state != STATE_CODES["normal"]).mean())
+        > min_nonnormal_fraction
+    ]
+    if not selected:
+        selected = top_pressure_devices(devices, count=min(9, len(devices)))
+    next_counts: Dict[int, Dict[int, int]] = {
+        code: {} for code in STATE_CODES.values()
+    }
+    dwells: Dict[int, List[int]] = {code: [] for code in STATE_CODES.values()}
+    for log in selected:
+        episodes = state_episodes(log)
+        for (code, _, duration), (next_code, _, _) in zip(
+            episodes[:-1], episodes[1:]
+        ):
+            next_counts[code][next_code] = next_counts[code].get(next_code, 0) + 1
+            dwells[code].append(duration)
+    result = {}
+    for code, counts in next_counts.items():
+        total = sum(counts.values())
+        if total == 0:
+            continue
+        durations = np.array(dwells[code], dtype=float)
+        result[STATE_NAMES[code]] = {
+            "next": {
+                STATE_NAMES[next_code]: 100.0 * count / total
+                for next_code, count in sorted(counts.items())
+            },
+            "dwell_p25_s": float(np.percentile(durations, 25)),
+            "dwell_median_s": float(np.median(durations)),
+            "dwell_p75_s": float(np.percentile(durations, 75)),
+            "episodes": total,
+        }
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 1 roll-up
+# ----------------------------------------------------------------------
+def study_summary(devices: Sequence[DeviceLog]) -> Dict[str, float]:
+    """The §3 headline numbers, computed from the logs."""
+    rates = signal_rates(devices)
+    rows = high_pressure_time_fractions(devices)
+    n = max(1, len(devices))
+    medians = median_utilizations(devices)
+    return {
+        "devices": len(devices),
+        "frac_median_util_ge_60": float((medians >= 0.60).mean()),
+        "frac_median_util_gt_75": float((medians > 0.75).mean()),
+        "frac_any_signal_per_hour": fraction_with_any_signal(rates),
+        "frac_critical_gt_10_per_hour": fraction_with_critical_over(rates, 10.0),
+        "frac_total_gt_70_per_hour": sum(
+            1 for r in rates if r.total_per_hour > 70.0
+        ) / n,
+        "frac_high_time_gt_50pct": sum(
+            1 for row in rows if row["high_total"] > 0.50
+        ) / n,
+        "frac_high_time_ge_2pct": sum(
+            1 for row in rows if row["high_total"] >= 0.02
+        ) / n,
+        "frac_moderate_ge_2pct": sum(
+            1 for row in rows if row["moderate"] >= 0.02
+        ) / n,
+        "frac_critical_gt_4pct": sum(
+            1 for row in rows if row["critical"] > 0.04
+        ) / n,
+    }

@@ -1,0 +1,126 @@
+"""SignalCapturer log export/import.
+
+The paper's repository ships the raw user-study logs for reanalysis
+(Appendix A).  This module does the same for the synthetic population:
+each device serialises to one gzipped JSON-lines file — a metadata
+record, one record per downsampled memory sample, and one per signal —
+and round-trips back into :class:`DeviceLog` for the analysis pipeline.
+
+Samples are stored at a configurable stride (default every sample) so
+full populations stay shareable; signals are always stored exactly.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from .signalcapturer import DeviceInfo, DeviceLog
+
+FORMAT_VERSION = 1
+
+
+def save_device_log(
+    log: DeviceLog,
+    path: Union[str, Path],
+    sample_stride: int = 1,
+) -> Path:
+    """Write one device's log as gzipped JSONL; returns the path."""
+    if sample_stride < 1:
+        raise ValueError("sample_stride must be >= 1")
+    path = Path(path)
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        header = {
+            "type": "meta",
+            "version": FORMAT_VERSION,
+            "device_id": log.info.device_id,
+            "manufacturer": log.info.manufacturer,
+            "total_mb": log.info.total_mb,
+            "android_version": log.info.android_version,
+            "n_cores": log.info.n_cores,
+            "n_samples": len(log.timestamps),
+            "sample_stride": sample_stride,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for i in range(0, len(log.timestamps), sample_stride):
+            record = {
+                "type": "sample",
+                "t": int(log.timestamps[i]),
+                "avail_mb": round(float(log.available_mb[i]), 2),
+                "state": int(log.state[i]),
+                "interactive": bool(log.interactive[i]),
+                "services": int(log.n_services[i]),
+            }
+            fh.write(json.dumps(record) + "\n")
+        for t, code in log.signals:
+            fh.write(json.dumps({"type": "signal", "t": t, "state": code}) + "\n")
+    return path
+
+
+def load_device_log(path: Union[str, Path]) -> DeviceLog:
+    """Read a log written by :func:`save_device_log`."""
+    path = Path(path)
+    samples = []
+    signals = []
+    header = None
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        for line in fh:
+            record = json.loads(line)
+            kind = record.pop("type")
+            if kind == "meta":
+                header = record
+            elif kind == "sample":
+                samples.append(record)
+            elif kind == "signal":
+                signals.append((record["t"], record["state"]))
+            else:
+                raise ValueError(f"unknown record type {kind!r} in {path}")
+    if header is None:
+        raise ValueError(f"{path} has no meta record")
+    if header["version"] != FORMAT_VERSION:
+        raise ValueError(f"unsupported log version {header['version']}")
+    info = DeviceInfo(
+        device_id=header["device_id"],
+        manufacturer=header["manufacturer"],
+        total_mb=header["total_mb"],
+        android_version=header["android_version"],
+        n_cores=header["n_cores"],
+    )
+    return DeviceLog(
+        info=info,
+        timestamps=np.array([s["t"] for s in samples], dtype=np.int64),
+        available_mb=np.array([s["avail_mb"] for s in samples], dtype=np.float32),
+        state=np.array([s["state"] for s in samples], dtype=np.int8),
+        interactive=np.array([s["interactive"] for s in samples], dtype=bool),
+        n_services=np.array([s["services"] for s in samples], dtype=np.int16),
+        signals=signals,
+    )
+
+
+def save_population(
+    population: List[DeviceLog],
+    directory: Union[str, Path],
+    sample_stride: int = 1,
+) -> List[Path]:
+    """Write every device's log into ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        save_device_log(
+            log, directory / f"{log.info.device_id}.jsonl.gz", sample_stride
+        )
+        for log in population
+    ]
+
+
+def load_population(directory: Union[str, Path]) -> List[DeviceLog]:
+    """Read every ``*.jsonl.gz`` log in ``directory``, sorted by name."""
+    directory = Path(directory)
+    return [
+        load_device_log(path)
+        for path in sorted(directory.glob("*.jsonl.gz"))
+    ]

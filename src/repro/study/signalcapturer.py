@@ -1,0 +1,88 @@
+"""SignalCapturer: the user-study logging app's data model.
+
+The paper's Android app sampled, every second: available memory, the
+current memory-pressure state, whether the device was interactive, and
+the number of running services; plus static device metadata (§3).  This
+module defines the same records for the synthetic population, stored as
+numpy arrays for the ~9950 hours of logs the analysis chews through.
+
+The app's own footprint (17 MB, 0.3% CPU on a Nokia 1) is modelled as a
+constant subtraction from available memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+#: SignalCapturer's own memory footprint (MB) — §3 reports 17 MB.
+CAPTURER_FOOTPRINT_MB = 17.0
+
+#: Integer codes for memory-pressure states in the sample arrays.
+STATE_CODES = {"normal": 0, "moderate": 1, "low": 2, "critical": 3}
+STATE_NAMES = {code: name for name, code in STATE_CODES.items()}
+
+
+@dataclass
+class DeviceInfo:
+    """Static metadata collected at install time."""
+
+    device_id: str
+    manufacturer: str
+    total_mb: int
+    android_version: str
+    n_cores: int
+
+
+@dataclass
+class DeviceLog:
+    """One device's complete log: 1 Hz samples plus signal events."""
+
+    info: DeviceInfo
+    #: Seconds since logging start, one entry per sample (1 Hz).
+    timestamps: np.ndarray
+    #: Available memory (free + cached) in MB at each sample.
+    available_mb: np.ndarray
+    #: Pressure-state code (STATE_CODES) at each sample.
+    state: np.ndarray
+    #: Interactive (screen on) flag at each sample.
+    interactive: np.ndarray
+    #: Number of running services at each sample.
+    n_services: np.ndarray
+    #: (timestamp_s, state code) for each emitted pressure signal.
+    signals: List = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = len(self.timestamps)
+        for name in ("available_mb", "state", "interactive", "n_services"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length mismatch")
+
+    # ------------------------------------------------------------------
+    @property
+    def hours_logged(self) -> float:
+        return len(self.timestamps) / 3600.0
+
+    @property
+    def interactive_hours(self) -> float:
+        return float(self.interactive.sum()) / 3600.0
+
+    def interactive_samples(self) -> "DeviceLog":
+        """Restrict every series to interactive (screen-on) samples —
+        the paper's cleaning step before all analysis."""
+        mask = self.interactive.astype(bool)
+        return DeviceLog(
+            info=self.info,
+            timestamps=self.timestamps[mask],
+            available_mb=self.available_mb[mask],
+            state=self.state[mask],
+            interactive=self.interactive[mask],
+            n_services=self.n_services[mask],
+            signals=self.signals,
+        )
+
+    def utilization(self) -> np.ndarray:
+        """RAM utilization fraction per sample (Android definition)."""
+        return 1.0 - self.available_mb / self.info.total_mb

@@ -1,0 +1,111 @@
+"""Survey models: usage patterns (Figure 1) and the DMOS study (Figure 10).
+
+*Usage-pattern survey* — study participants rated, on a 1-5 scale, how
+often they stream videos, listen to music, and play games, plus how
+often they multitask with more than one and more than two background
+apps.  §3 reports that video streaming was the most frequent activity
+and multitasking common; the synthetic raters are sampled from ordinal
+distributions encoding exactly that ordering.
+
+*DMOS survey* — 99 participants rated the relative experience of a
+Normal-pressure clip versus a Moderate-pressure clip (60 FPS, 240p;
+3% vs 35% frame drops), 5 = "no noticeable difference", 1 = "very
+annoying".  The psychometric model lives in :mod:`repro.core.qoe`; this
+module packages the full survey around measured session results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.qoe import dmos_histogram, sample_dmos_ratings
+from ..sim.rng import RandomStreams
+
+ACTIVITIES = ("streaming_videos", "listening_music", "playing_games")
+MULTITASK_QUESTIONS = ("more_than_one_bg_app", "more_than_two_bg_apps")
+
+#: Ordinal rating probabilities (index 0 -> rating 1 ... index 4 -> 5).
+#: Videos dominate, then music, then games; multitasking is common.
+_RATING_DISTRIBUTIONS: Dict[str, List[float]] = {
+    "streaming_videos": [0.02, 0.05, 0.13, 0.30, 0.50],
+    "listening_music": [0.06, 0.12, 0.22, 0.32, 0.28],
+    "playing_games": [0.25, 0.22, 0.23, 0.18, 0.12],
+    "more_than_one_bg_app": [0.05, 0.08, 0.17, 0.32, 0.38],
+    "more_than_two_bg_apps": [0.10, 0.14, 0.22, 0.28, 0.26],
+}
+
+
+@dataclass
+class UsageSurvey:
+    """Responses of the usage-pattern survey (Figure 1)."""
+
+    #: question -> list of ratings (1-5), one per respondent.
+    responses: Dict[str, List[int]]
+
+    def histogram(self, question: str) -> Dict[int, int]:
+        counts = {score: 0 for score in range(1, 6)}
+        for rating in self.responses[question]:
+            counts[rating] += 1
+        return counts
+
+    def mean_rating(self, question: str) -> float:
+        ratings = self.responses[question]
+        return sum(ratings) / len(ratings)
+
+    def activity_order(self) -> List[str]:
+        """Activities ordered by mean rating, most frequent first."""
+        return sorted(
+            ACTIVITIES, key=self.mean_rating, reverse=True
+        )
+
+
+def run_usage_survey(n_respondents: int = 48, seed: int = 0) -> UsageSurvey:
+    """Sample the usage-pattern survey."""
+    rng = RandomStreams(seed).numpy_stream("survey.usage")
+    responses: Dict[str, List[int]] = {}
+    for question, probabilities in _RATING_DISTRIBUTIONS.items():
+        draws = rng.choice(
+            np.arange(1, 6), size=n_respondents, p=probabilities
+        )
+        responses[question] = [int(v) for v in draws]
+    return UsageSurvey(responses)
+
+
+@dataclass
+class DmosSurvey:
+    """Result of the 99-participant differential-MOS study (Figure 10)."""
+
+    reference_drop_rate: float
+    degraded_drop_rate: float
+    ratings: List[int]
+
+    @property
+    def histogram(self) -> Dict[int, int]:
+        return dmos_histogram(self.ratings)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.ratings) / len(self.ratings)
+
+    @property
+    def fraction_annoyed(self) -> float:
+        """Share of raters giving 1 or 2 (the paper: 60 of 99)."""
+        low = sum(1 for rating in self.ratings if rating <= 2)
+        return low / len(self.ratings)
+
+
+def run_dmos_survey(
+    reference_drop_rate: float,
+    degraded_drop_rate: float,
+    n_raters: int = 99,
+    seed: int = 0,
+) -> DmosSurvey:
+    """Simulate the paired-comparison opinion study."""
+    rng = RandomStreams(seed).numpy_stream("survey.dmos")
+    ratings = sample_dmos_ratings(
+        reference_drop_rate, degraded_drop_rate, n_raters, rng
+    )
+    return DmosSurvey(reference_drop_rate, degraded_drop_rate, ratings)

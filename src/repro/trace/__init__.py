@@ -1,0 +1,23 @@
+"""Perfetto-analog tracing: recording and §5-style analysis queries."""
+
+from .analysis import (
+    PreemptionStats,
+    cpu_utilization_series,
+    migration_counts,
+    preemption_stats,
+    state_breakdown,
+    state_times,
+    top_running_threads,
+)
+from .recorder import TraceRecorder
+
+__all__ = [
+    "PreemptionStats",
+    "cpu_utilization_series",
+    "migration_counts",
+    "preemption_stats",
+    "state_breakdown",
+    "state_times",
+    "top_running_threads",
+    "TraceRecorder",
+]

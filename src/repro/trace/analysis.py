@@ -1,0 +1,186 @@
+"""Trace analysis queries reproducing the paper's §5 tables and figures.
+
+* :func:`state_times` — total time a set of threads spent per state
+  (Table 4: Running / Runnable / Runnable (Preempted) of video threads).
+* :func:`top_running_threads` — threads ranked by total running time
+  (§5 "top running threads": kswapd 2.3 s → 22 s).
+* :func:`state_breakdown` — per-thread percentage split across states
+  (Figure 13: kswapd sleeping 75% → 31%, running 6% → 56%).
+* :func:`preemption_stats` — per-victor preemption statistics over a
+  victim set (Table 5: mmcqd preemption count, run-after-preemption,
+  victim wait-to-run-again).
+* :func:`cpu_utilization_series` — windowed per-thread CPU utilization
+  (Figure 14: the lmkd spike at the crash).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..sched.states import ThreadState
+from ..sim.clock import Time, seconds, to_seconds
+from .recorder import TraceRecorder
+
+ThreadFilter = Callable[[str], bool]
+
+
+def _match(names: Iterable[str], selector: ThreadFilter) -> List[str]:
+    return [name for name in names if selector(name)]
+
+
+def state_times(
+    trace: TraceRecorder,
+    selector: ThreadFilter,
+    until: Optional[Time] = None,
+) -> Dict[ThreadState, float]:
+    """Total seconds the selected threads spent in each state."""
+    totals = {state: 0 for state in ThreadState}
+    for name in _match(trace.thread_names(), selector):
+        for start, end, state in trace.intervals(name, until):
+            totals[state] += end - start
+    return {state: to_seconds(ticks) for state, ticks in totals.items()}
+
+
+def top_running_threads(
+    trace: TraceRecorder,
+    until: Optional[Time] = None,
+    limit: int = 20,
+) -> List[Tuple[str, float]]:
+    """Threads ranked by total RUNNING seconds, descending."""
+    totals: List[Tuple[str, float]] = []
+    for name in trace.thread_names():
+        running = sum(
+            end - start
+            for start, end, state in trace.intervals(name, until)
+            if state is ThreadState.RUNNING
+        )
+        totals.append((name, to_seconds(running)))
+    totals.sort(key=lambda item: item[1], reverse=True)
+    return totals[:limit]
+
+
+def state_breakdown(
+    trace: TraceRecorder,
+    thread_name: str,
+    until: Optional[Time] = None,
+) -> Dict[ThreadState, float]:
+    """Fraction of one thread's lifetime spent in each state."""
+    intervals = trace.intervals(thread_name, until)
+    total = sum(end - start for start, end, _ in intervals)
+    if total == 0:
+        return {state: 0.0 for state in ThreadState}
+    result = {state: 0.0 for state in ThreadState}
+    for start, end, state in intervals:
+        result[state] += (end - start) / total
+    return result
+
+
+@dataclass
+class PreemptionStats:
+    """Statistics for one preempting thread over a victim set."""
+
+    victor: str
+    count: int
+    mean_victor_run_s: float
+    mean_victim_wait_s: float
+    total_victor_run_s: float
+    total_victim_wait_s: float
+
+
+def _running_duration_from(
+    trace: TraceRecorder, thread_name: str, start: Time, until: Time
+) -> Time:
+    """Contiguous RUNNING time of ``thread_name`` starting at ``start``."""
+    for ivl_start, ivl_end, state in trace.intervals(thread_name, until):
+        if state is ThreadState.RUNNING and ivl_start <= start < ivl_end:
+            return ivl_end - start
+    return 0
+
+
+def _wait_until_running(
+    trace: TraceRecorder, thread_name: str, start: Time, until: Time
+) -> Time:
+    """Time from ``start`` until ``thread_name`` next enters RUNNING."""
+    for ivl_start, ivl_end, state in trace.intervals(thread_name, until):
+        if state is ThreadState.RUNNING and ivl_start >= start:
+            return ivl_start - start
+    return until - start
+
+
+def preemption_stats(
+    trace: TraceRecorder,
+    victim_selector: ThreadFilter,
+    until: Optional[Time] = None,
+) -> List[PreemptionStats]:
+    """Per-victor preemption statistics over the selected victims.
+
+    For every preemption of a selected victim: who preempted it, how
+    long the victor then ran contiguously, and how long the victim
+    waited to get the CPU back — the three statistics of Table 5.
+    """
+    if until is None:
+        until = trace.sim.now
+    events_by_victor: Dict[str, List[Tuple[Time, str]]] = defaultdict(list)
+    for time, victim, victor, _core in trace.preemptions:
+        if time <= until and victim_selector(victim):
+            events_by_victor[victor].append((time, victim))
+
+    results: List[PreemptionStats] = []
+    for victor, events in events_by_victor.items():
+        runs = [
+            _running_duration_from(trace, victor, time, until)
+            for time, _victim in events
+        ]
+        waits = [
+            _wait_until_running(trace, victim, time, until)
+            for time, victim in events
+        ]
+        count = len(events)
+        results.append(
+            PreemptionStats(
+                victor=victor,
+                count=count,
+                mean_victor_run_s=to_seconds(sum(runs)) / count,
+                mean_victim_wait_s=to_seconds(sum(waits)) / count,
+                total_victor_run_s=to_seconds(sum(runs)),
+                total_victim_wait_s=to_seconds(sum(waits)),
+            )
+        )
+    results.sort(key=lambda stats: stats.count, reverse=True)
+    return results
+
+
+def cpu_utilization_series(
+    trace: TraceRecorder,
+    thread_name: str,
+    window: Time = seconds(1.0),
+    until: Optional[Time] = None,
+) -> List[Tuple[float, float]]:
+    """(window start seconds, utilization in [0,1]) per window."""
+    if until is None:
+        until = trace.sim.now
+    running = [
+        (start, end)
+        for start, end, state in trace.intervals(thread_name, until)
+        if state is ThreadState.RUNNING
+    ]
+    series: List[Tuple[float, float]] = []
+    window_start = trace.start_time
+    while window_start < until:
+        window_end = min(window_start + window, until)
+        busy = 0
+        for start, end in running:
+            overlap = min(end, window_end) - max(start, window_start)
+            if overlap > 0:
+                busy += overlap
+        span = window_end - window_start
+        series.append((to_seconds(window_start), busy / span if span else 0.0))
+        window_start = window_end
+    return series
+
+
+def migration_counts(trace: TraceRecorder) -> Dict[str, int]:
+    """Core migrations per thread (§7: kswapd switches cores often)."""
+    return dict(trace.migrations)

@@ -1,0 +1,125 @@
+"""In-simulation trace recording (Perfetto analog).
+
+The recorder subscribes to the engine's instrumentation topics and
+stores what Perfetto would capture from ftrace on a real device:
+
+* thread state transitions (``sched.state``),
+* preemption events with victim and victor (``sched.preempt``),
+* core migrations (``sched.migrate``),
+* named counter tracks sampled periodically (free memory, rendered
+  FPS, per-thread CPU utilization, ...).
+
+Because the simulator records its own ground-truth schedule, the §5
+analyses computed from these traces are exact rather than sampled.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sched.scheduler import Thread
+from ..sched.states import ThreadState
+from ..sim.clock import Time, seconds
+from ..sim.engine import Simulator
+
+#: A state transition: (time, new_state).
+Transition = Tuple[Time, ThreadState]
+#: A displacement: (time, victim name, victor name, core index).
+Preemption = Tuple[Time, str, str, int]
+
+
+class TraceRecorder:
+    """Records scheduling events and counter tracks for later analysis."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.start_time: Time = sim.now
+        self.transitions: Dict[str, List[Transition]] = defaultdict(list)
+        #: True mid-slice preemptions by a higher scheduling class.
+        self.preemptions: List[Preemption] = []
+        #: Involuntary quantum rotations within the same class.
+        self.rotations: List[Preemption] = []
+        self.migrations: Dict[str, int] = defaultdict(int)
+        self.counters: Dict[str, List[Tuple[Time, float]]] = defaultdict(list)
+        self._counter_fns: List[Tuple[str, Callable[[], float]]] = []
+        self._sampling = False
+        self._initial_states: Dict[str, ThreadState] = {}
+        sim.on("sched.state", self._on_state)
+        sim.on("sched.preempt", self._on_preempt)
+        sim.on("sched.migrate", self._on_migrate)
+
+    # ------------------------------------------------------------------
+    # Event capture
+    # ------------------------------------------------------------------
+    def _on_state(self, time: Time, thread: Thread, old: ThreadState, new: ThreadState) -> None:
+        name = thread.name
+        if name not in self._initial_states:
+            self._initial_states[name] = old
+        self.transitions[name].append((time, new))
+
+    def _on_preempt(
+        self,
+        time: Time,
+        victim: Thread,
+        victor: Optional[Thread],
+        core: int,
+        kind: str = "preempt",
+    ) -> None:
+        victor_name = victor.name if victor is not None else "?"
+        record = (time, victim.name, victor_name, core)
+        if kind == "preempt":
+            self.preemptions.append(record)
+        else:
+            self.rotations.append(record)
+
+    def _on_migrate(self, time: Time, thread: Thread, src: int, dst: int) -> None:
+        self.migrations[thread.name] += 1
+
+    # ------------------------------------------------------------------
+    # Counter tracks
+    # ------------------------------------------------------------------
+    def track_counter(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a counter sampled on every sampling tick."""
+        self._counter_fns.append((name, fn))
+
+    def start_sampling(self, period: Time = seconds(0.5)) -> None:
+        """Begin periodic sampling of all registered counters."""
+        if self._sampling:
+            return
+        self._sampling = True
+        self._sample(period)
+
+    def _sample(self, period: Time) -> None:
+        for name, fn in self._counter_fns:
+            self.counters[name].append((self.sim.now, float(fn())))
+        self.sim.schedule(period, self._sample, period, label="trace:sample")
+
+    # ------------------------------------------------------------------
+    # Interval reconstruction
+    # ------------------------------------------------------------------
+    def intervals(
+        self, thread_name: str, until: Optional[Time] = None
+    ) -> List[Tuple[Time, Time, ThreadState]]:
+        """(start, end, state) intervals for one thread, tiling
+        [start_time, until]."""
+        if until is None:
+            until = self.sim.now
+        events = self.transitions.get(thread_name, [])
+        initial = self._initial_states.get(thread_name, ThreadState.SLEEPING)
+        result: List[Tuple[Time, Time, ThreadState]] = []
+        current_state = initial
+        current_start = self.start_time
+        for time, new_state in events:
+            if time > until:
+                break
+            if time > current_start:
+                result.append((current_start, time, current_state))
+            current_state = new_state
+            current_start = time
+        if until > current_start:
+            result.append((current_start, until, current_state))
+        return result
+
+    def thread_names(self) -> List[str]:
+        return sorted(self.transitions.keys())

@@ -1,0 +1,54 @@
+"""DASH video streaming stack: encodings, manifest, client, pipeline."""
+
+from .buffer import DEFAULT_CAPACITY_S, PlaybackBuffer
+from .clients import CLIENTS, ClientProfile, chrome, exoplayer, firefox
+from .dash import SEGMENT_DURATION_S, Manifest, Representation, Segment
+from .encoding import (
+    BITRATE_LADDER_KBPS,
+    GENRES,
+    RESOLUTION_ORDER,
+    RESOLUTIONS,
+    Resolution,
+    VideoAsset,
+    VideoGenre,
+    bitrate_kbps,
+    default_video,
+    paper_catalog,
+)
+from .network import Link, TraceLink, lan_link
+from .pipeline import PipelineStats, RenderPipeline
+from .player import SessionResult, VideoPlayer, bytes_to_pages
+from .server import VideoServer
+
+__all__ = [
+    "DEFAULT_CAPACITY_S",
+    "PlaybackBuffer",
+    "CLIENTS",
+    "ClientProfile",
+    "chrome",
+    "exoplayer",
+    "firefox",
+    "SEGMENT_DURATION_S",
+    "Manifest",
+    "Representation",
+    "Segment",
+    "BITRATE_LADDER_KBPS",
+    "GENRES",
+    "RESOLUTION_ORDER",
+    "RESOLUTIONS",
+    "Resolution",
+    "VideoAsset",
+    "VideoGenre",
+    "bitrate_kbps",
+    "default_video",
+    "paper_catalog",
+    "Link",
+    "TraceLink",
+    "lan_link",
+    "PipelineStats",
+    "RenderPipeline",
+    "SessionResult",
+    "VideoPlayer",
+    "bytes_to_pages",
+    "VideoServer",
+]

@@ -1,0 +1,70 @@
+"""The client playback buffer.
+
+Holds downloaded-but-unplayed segments up to a capacity of 60 seconds
+(§4.1).  Occupancy in seconds gates the fetch loop; occupancy in bytes
+is what the buffer contributes to the client's memory footprint, which
+is why PSS grows with bitrate (Figure 8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from .dash import Segment
+
+#: Paper-configured playback buffer capacity.
+DEFAULT_CAPACITY_S = 60.0
+
+
+class PlaybackBuffer:
+    """FIFO of (segment, representation id) awaiting playback."""
+
+    def __init__(self, capacity_s: float = DEFAULT_CAPACITY_S) -> None:
+        if capacity_s <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_s = capacity_s
+        self._queue: Deque[Tuple[Segment, str]] = deque()
+        self.level_s = 0.0
+        self.level_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def has_room(self) -> bool:
+        """True while another segment may be enqueued without exceeding
+        capacity (dash.js fetches while level < capacity)."""
+        return self.level_s < self.capacity_s
+
+    def push(self, segment: Segment, representation_id: str) -> None:
+        self._queue.append((segment, representation_id))
+        self.level_s += segment.duration_s
+        self.level_bytes += segment.size_bytes
+
+    def pop(self) -> Optional[Tuple[Segment, str]]:
+        """Dequeue the next segment for playback, or None when empty."""
+        if not self._queue:
+            return None
+        segment, rep_id = self._queue.popleft()
+        self.level_s -= segment.duration_s
+        self.level_bytes -= segment.size_bytes
+        # Guard against float drift at empty.
+        if not self._queue:
+            self.level_s = 0.0
+            self.level_bytes = 0
+        return segment, rep_id
+
+    def peek_representation(self) -> Optional[str]:
+        if not self._queue:
+            return None
+        return self._queue[0][1]
+
+    def flush(self) -> int:
+        """Drop everything (e.g. on a representation switch that must
+        re-buffer).  Returns the bytes released."""
+        released = self.level_bytes
+        self._queue.clear()
+        self.level_s = 0.0
+        self.level_bytes = 0
+        return released

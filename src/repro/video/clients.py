@@ -1,0 +1,136 @@
+"""Video client implementation profiles: Firefox, Chrome, ExoPlayer.
+
+The paper evaluates three client platforms (§4.1, Appendix B).  They
+differ mainly in memory footprint — Firefox is heaviest, ExoPlayer
+lightest — and modestly in decode-path efficiency.  A lower footprint
+delays the onset of thrashing (fewer drops) but does not prevent lmkd
+kills under Critical pressure, which is exactly what Figures 18/19
+show.
+
+Calibrated inputs (DESIGN.md §5):
+
+* ``base_pss_mb`` — the platform's resting footprint with a media page
+  open, before codec/buffer memory.
+* ``decode_buffer_frames`` — decoded-frame pool depth (YUV 1.5 B/px).
+* ``texture_bytes_per_pixel`` — compositor surfaces.
+* ``decode_multiplier`` — relative decode cost (hardware-path quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernel.memory import mb_to_pages
+from .encoding import RESOLUTIONS
+
+#: Bytes per pixel of a decoded YUV 4:2:0 frame.
+YUV_BYTES_PER_PIXEL = 1.5
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """One video client implementation platform."""
+
+    name: str
+    base_pss_mb: float
+    decode_buffer_frames_30: int
+    decode_buffer_frames_60: int
+    texture_bytes_per_pixel: float
+    decode_multiplier: float
+    #: Fraction of the client's pages that are file-backed (code, cache).
+    file_share: float
+    #: Allocation churn per second of playback (GC + codec recycling).
+    churn_mb_per_s: float
+    #: Auxiliary threads (IPC, demuxer, JS, compositor helpers) and the
+    #: CPU duty cycle each one sustains during playback.  Real browsers
+    #: run dozens of threads; their aggregate load is what makes video
+    #: threads *queue* for cores once the kernel daemons get busy.
+    n_worker_threads: int = 5
+    worker_duty: float = 0.15
+    main_thread_duty: float = 0.12
+    #: oom_adj of the process doing the playback.  Browsers play in a
+    #: content/tab process that Android scores around PERCEPTIBLE (the
+    #:  paper: "the browser, or the browser tab process ... to get
+    #: killed"); a native ExoPlayer app is the foreground process itself.
+    oom_adj: int = 200
+
+    def decode_buffer_frames(self, fps: int) -> int:
+        return (
+            self.decode_buffer_frames_60 if fps >= 48 else self.decode_buffer_frames_30
+        )
+
+    def codec_buffer_pages(self, resolution: str, fps: int) -> int:
+        """Pages held by the decoded-frame pool for an encoding."""
+        pixels = RESOLUTIONS[resolution].pixels
+        frames = self.decode_buffer_frames(fps)
+        bytes_needed = pixels * YUV_BYTES_PER_PIXEL * frames
+        return mb_to_pages(bytes_needed / (1024 * 1024))
+
+    def texture_pages(self, resolution: str) -> int:
+        """Pages held by compositor surfaces for an encoding."""
+        pixels = RESOLUTIONS[resolution].pixels
+        bytes_needed = pixels * self.texture_bytes_per_pixel
+        return mb_to_pages(bytes_needed / (1024 * 1024))
+
+    @property
+    def base_pages(self) -> int:
+        return mb_to_pages(self.base_pss_mb)
+
+
+def firefox() -> ClientProfile:
+    """Firefox for Android — the paper's primary client (heaviest)."""
+    return ClientProfile(
+        name="firefox",
+        base_pss_mb=175.0,
+        decode_buffer_frames_30=10,
+        decode_buffer_frames_60=14,
+        texture_bytes_per_pixel=12.0,
+        decode_multiplier=1.0,
+        file_share=0.35,
+        churn_mb_per_s=6.0,
+        n_worker_threads=6,
+        worker_duty=0.16,
+        main_thread_duty=0.14,
+    )
+
+
+def chrome() -> ClientProfile:
+    """Chrome for Android — lower footprint than Firefox (Appendix B.2)."""
+    return ClientProfile(
+        name="chrome",
+        base_pss_mb=130.0,
+        decode_buffer_frames_30=6,
+        decode_buffer_frames_60=10,
+        texture_bytes_per_pixel=6.0,
+        decode_multiplier=0.85,
+        file_share=0.35,
+        churn_mb_per_s=4.5,
+        n_worker_threads=5,
+        worker_duty=0.14,
+        main_thread_duty=0.12,
+    )
+
+
+def exoplayer() -> ClientProfile:
+    """ExoPlayer in a native app — lightest client (Appendix B.1)."""
+    return ClientProfile(
+        name="exoplayer",
+        base_pss_mb=80.0,
+        decode_buffer_frames_30=5,
+        decode_buffer_frames_60=8,
+        texture_bytes_per_pixel=4.0,
+        decode_multiplier=0.70,
+        file_share=0.25,
+        churn_mb_per_s=2.5,
+        n_worker_threads=3,
+        worker_duty=0.10,
+        main_thread_duty=0.08,
+        oom_adj=0,
+    )
+
+
+CLIENTS = {
+    "firefox": firefox,
+    "chrome": chrome,
+    "exoplayer": exoplayer,
+}

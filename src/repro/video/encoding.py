@@ -1,0 +1,117 @@
+"""Video encodings: resolutions, frame rates, bitrate ladder, genres.
+
+Bitrates follow YouTube's recommended upload encode settings, the
+ladder the paper's videos were encoded with (§4.1).  Genres carry a
+*complexity* multiplier applied to decode cost and segment sizes: the
+five paper videos (travel, sports, gaming, news, nature) differ mostly
+in motion complexity, which is why Figure 12 shows the same qualitative
+trends with modestly different magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A video resolution rung."""
+
+    name: str
+    width: int
+    height: int
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+
+RESOLUTIONS: Dict[str, Resolution] = {
+    "240p": Resolution("240p", 426, 240),
+    "360p": Resolution("360p", 640, 360),
+    "480p": Resolution("480p", 854, 480),
+    "720p": Resolution("720p", 1280, 720),
+    "1080p": Resolution("1080p", 1920, 1080),
+    "1440p": Resolution("1440p", 2560, 1440),
+}
+
+#: Ascending resolution order used by ladders and sweeps.
+RESOLUTION_ORDER: Tuple[str, ...] = (
+    "240p", "360p", "480p", "720p", "1080p", "1440p"
+)
+
+#: YouTube-recommended bitrates in kbps: {resolution: {fps: kbps}}.
+#: 24/30 fps share a rung; 48/60 fps share the high-frame-rate rung.
+BITRATE_LADDER_KBPS: Dict[str, Dict[int, int]] = {
+    "240p": {24: 500, 30: 500, 48: 750, 60: 750},
+    "360p": {24: 1000, 30: 1000, 48: 1500, 60: 1500},
+    "480p": {24: 2500, 30: 2500, 48: 4000, 60: 4000},
+    "720p": {24: 5000, 30: 5000, 48: 7500, 60: 7500},
+    "1080p": {24: 8000, 30: 8000, 48: 12000, 60: 12000},
+    "1440p": {24: 16000, 30: 16000, 48: 24000, 60: 24000},
+}
+
+SUPPORTED_FRAME_RATES: Tuple[int, ...] = (24, 30, 48, 60)
+
+
+def bitrate_kbps(resolution: str, fps: int) -> int:
+    """Ladder bitrate for a (resolution, fps) encoding."""
+    if resolution not in BITRATE_LADDER_KBPS:
+        raise KeyError(f"unknown resolution {resolution!r}")
+    rungs = BITRATE_LADDER_KBPS[resolution]
+    if fps not in rungs:
+        raise KeyError(f"unsupported frame rate {fps} for {resolution}")
+    return rungs[fps]
+
+
+@dataclass(frozen=True)
+class VideoGenre:
+    """Content class with a decode/size complexity multiplier."""
+
+    name: str
+    complexity: float
+
+
+GENRES: Dict[str, VideoGenre] = {
+    "travel": VideoGenre("travel", 1.00),   # Dubai Flow Motion
+    "sports": VideoGenre("sports", 1.15),   # tennis, court-level 4K 60
+    "gaming": VideoGenre("gaming", 1.10),   # Dota 2 finals
+    "news": VideoGenre("news", 0.75),       # talking heads
+    "nature": VideoGenre("nature", 1.05),   # Bali 8K HDR
+}
+
+
+@dataclass(frozen=True)
+class VideoAsset:
+    """One source video with its available encodings."""
+
+    title: str
+    genre: VideoGenre
+    duration_s: float
+    resolutions: Tuple[str, ...] = RESOLUTION_ORDER
+    frame_rates: Tuple[int, ...] = (30, 60)
+
+    def encodings(self) -> List[Tuple[str, int, int]]:
+        """All (resolution, fps, kbps) combinations for this asset."""
+        return [
+            (res, fps, bitrate_kbps(res, fps))
+            for res in self.resolutions
+            for fps in self.frame_rates
+        ]
+
+
+def paper_catalog(duration_s: float = 60.0) -> Dict[str, VideoAsset]:
+    """The five evaluation videos from §4.3 (one per genre)."""
+    return {
+        "travel": VideoAsset("Dubai Flow Motion in 4K", GENRES["travel"], duration_s),
+        "sports": VideoAsset("Djokovic vs Shapovalov 4K 60FPS", GENRES["sports"], duration_s),
+        "gaming": VideoAsset("NIGMA vs OG TI Champions", GENRES["gaming"], duration_s),
+        "news": VideoAsset("Taliban fighter interview", GENRES["news"], duration_s),
+        "nature": VideoAsset("Bali in 8K ULTRA HD HDR", GENRES["nature"], duration_s),
+    }
+
+
+def default_video(duration_s: float = 60.0) -> VideoAsset:
+    """The single-video experiments' asset (the Dubai travel video)."""
+    return paper_catalog(duration_s)["travel"]

@@ -1,0 +1,90 @@
+"""Network link models.
+
+The paper's testbed streams over a dedicated WiFi LAN provisioned so
+the network is *never* the bottleneck (§4.1) — :func:`lan_link` mirrors
+that.  :class:`TraceLink` replays a variable-throughput trace and
+exists for the memory-aware-ABR examples, where network and memory
+bottlenecks interact.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..sim.clock import Time, micros, seconds
+
+
+@dataclass(frozen=True)
+class Link:
+    """A fixed-rate link with a propagation delay."""
+
+    bandwidth_mbps: float
+    rtt_ms: float = 2.0
+
+    def transfer_time(self, size_bytes: int) -> Time:
+        """Ticks to fetch ``size_bytes`` over this link (incl. one RTT)."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        transfer_us = size_bytes * 8 / self.bandwidth_mbps  # Mbps == bits/us
+        return micros(transfer_us + self.rtt_ms * 1000)
+
+    def throughput_at(self, _time: Time) -> float:
+        return self.bandwidth_mbps
+
+
+def lan_link() -> Link:
+    """The dedicated WiFi LAN of the paper's testbed: 300 Mbps, 2 ms."""
+    return Link(bandwidth_mbps=300.0, rtt_ms=2.0)
+
+
+class TraceLink:
+    """A link whose bandwidth follows a (time_s, mbps) trace.
+
+    Throughput is piecewise constant between trace points; transfers
+    integrate across segments, which is what an ABR algorithm's
+    download-time measurements would see on a variable network.
+    """
+
+    def __init__(self, trace: Sequence[Tuple[float, float]], rtt_ms: float = 20.0) -> None:
+        if not trace:
+            raise ValueError("trace must not be empty")
+        if trace[0][0] != 0.0:
+            raise ValueError("trace must start at time 0")
+        times = [point[0] for point in trace]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("trace times must be strictly increasing")
+        if any(mbps <= 0 for _, mbps in trace):
+            raise ValueError("trace bandwidths must be positive")
+        self._times: List[Time] = [seconds(t) for t in times]
+        self._mbps: List[float] = [point[1] for point in trace]
+        self.rtt_ms = rtt_ms
+
+    def throughput_at(self, time: Time) -> float:
+        index = bisect.bisect_right(self._times, time) - 1
+        return self._mbps[max(0, index)]
+
+    def transfer_time(self, size_bytes: int, start: Time = 0) -> Time:
+        """Ticks to fetch ``size_bytes`` starting at ``start``."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        remaining_bits = size_bytes * 8
+        now = start
+        while remaining_bits > 0:
+            mbps = self.throughput_at(now)
+            index = bisect.bisect_right(self._times, now)
+            boundary = self._times[index] if index < len(self._times) else None
+            if boundary is None:
+                now += micros(remaining_bits / mbps)
+                remaining_bits = 0
+            else:
+                span = boundary - now
+                capacity = span * mbps  # bits transferable before boundary
+                if capacity >= remaining_bits:
+                    now += micros(remaining_bits / mbps)
+                    remaining_bits = 0
+                else:
+                    remaining_bits -= capacity
+                    now = boundary
+        return now - start + micros(self.rtt_ms * 1000)

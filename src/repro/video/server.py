@@ -1,0 +1,55 @@
+"""The video origin server (Apache analog from Figure 7).
+
+Serves DASH segments over a :class:`~repro.video.network.Link`.  The
+server itself is never the bottleneck in the paper's setup; a small
+fixed processing delay models request handling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim.clock import micros
+from ..sim.engine import Simulator
+from .dash import Manifest, Representation, Segment
+
+#: Server-side request handling time.
+PROCESSING_DELAY_US = 400.0
+
+
+class VideoServer:
+    """Serves segments of one manifest over one link."""
+
+    def __init__(self, sim: Simulator, manifest: Manifest, link) -> None:
+        self.sim = sim
+        self.manifest = manifest
+        self.link = link
+        self.requests_served = 0
+        self.bytes_served = 0
+
+    def request_segment(
+        self,
+        representation: Representation,
+        index: int,
+        on_complete: Callable[[Segment], None],
+    ) -> None:
+        """Fetch segment ``index`` of ``representation``; the callback
+        fires when the last byte arrives at the client."""
+        if not 0 <= index < len(representation.segments):
+            raise IndexError(
+                f"segment {index} out of range for {representation.id}"
+            )
+        segment = representation.segments[index]
+        if hasattr(self.link, "transfer_time"):
+            try:
+                delay = self.link.transfer_time(segment.size_bytes, self.sim.now)
+            except TypeError:
+                delay = self.link.transfer_time(segment.size_bytes)
+        else:  # pragma: no cover - defensive
+            raise TypeError("link must provide transfer_time")
+        delay += micros(PROCESSING_DELAY_US)
+        self.requests_served += 1
+        self.bytes_served += segment.size_bytes
+        self.sim.schedule(
+            delay, on_complete, segment, label=f"fetch:{representation.id}#{index}"
+        )

@@ -1,0 +1,13 @@
+"""Memory-pressure workloads: the MP Simulator and organic background apps."""
+
+from .apps import TOP_FREE_APPS, AppSpec, top_apps
+from .background import BackgroundWorkload
+from .mpsim import MPSimulator
+
+__all__ = [
+    "TOP_FREE_APPS",
+    "AppSpec",
+    "top_apps",
+    "BackgroundWorkload",
+    "MPSimulator",
+]

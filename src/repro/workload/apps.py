@@ -1,0 +1,49 @@
+"""Background application catalog.
+
+The organic-pressure experiments in §4.3 opened eight of the top free
+Play Store applications (no games) before starting the video.  This
+catalog provides representative footprints for that population; sizes
+are typical resident footprints of these apps on low-RAM devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One background app: footprint and liveliness."""
+
+    name: str
+    pss_mb: float
+    #: Share of the footprint that is file-backed (code, assets).
+    file_share: float
+    #: Share of pages that stay hot while backgrounded (sync loops,
+    #: push listeners); the rest go cold and are cheap to reclaim.
+    background_hot_fraction: float
+
+
+#: Top free-app population used for organic memory pressure.
+TOP_FREE_APPS: List[AppSpec] = [
+    AppSpec("com.whatsapp", 95.0, 0.40, 0.45),
+    AppSpec("com.facebook.katana", 185.0, 0.35, 0.55),
+    AppSpec("com.instagram.android", 150.0, 0.35, 0.50),
+    AppSpec("com.zhiliaoapp.musically", 210.0, 0.30, 0.55),
+    AppSpec("com.google.android.gm", 85.0, 0.45, 0.35),
+    AppSpec("com.google.android.apps.maps", 160.0, 0.40, 0.40),
+    AppSpec("com.spotify.music", 115.0, 0.40, 0.45),
+    AppSpec("com.twitter.android", 130.0, 0.35, 0.45),
+    AppSpec("com.snapchat.android", 175.0, 0.30, 0.50),
+    AppSpec("com.amazon.mShop.android", 120.0, 0.40, 0.35),
+]
+
+
+def top_apps(count: int) -> List[AppSpec]:
+    """The first ``count`` apps of the catalog (paper used eight)."""
+    if count > len(TOP_FREE_APPS):
+        raise ValueError(
+            f"catalog has {len(TOP_FREE_APPS)} apps, requested {count}"
+        )
+    return TOP_FREE_APPS[:count]

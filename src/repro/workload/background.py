@@ -1,0 +1,165 @@
+"""Organic memory pressure: opening real background applications.
+
+§4.3's organic experiments open eight top free apps before starting the
+browser.  Each app is launched to the foreground (allocating its
+footprint chunk by chunk through its own thread, with all the
+direct-reclaim stalls that implies), then backgrounded: its oom_adj
+drops into the cached range, most of its pages go cold, and a small
+sync workload keeps a fraction hot.
+
+Unlike the MP Simulator, these processes are killable — organic
+pressure partially relieves itself through lmkd kills (Figure 15's kill
+bursts).  But popular apps do not stay dead: their services restart
+after a few seconds, re-allocating memory, which is what keeps a
+device with more app demand than RAM *persistently* under pressure
+while the video plays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..device.device import Device
+from ..kernel.memory import mb_to_pages
+from ..kernel.process import MemProcess, OomAdj
+from ..sched.scheduler import SchedClass, Thread
+from ..sim.clock import Time, seconds
+from .apps import AppSpec, top_apps
+
+#: Gap between consecutive app launches.
+LAUNCH_SPACING: Time = seconds(1.5)
+#: Background sync period per app.
+SYNC_PERIOD: Time = seconds(2.0)
+#: Footprint is allocated in chunks of this size (MB) during launch.
+LAUNCH_CHUNK_MB = 16.0
+#: Service-restart delay range after a kill (seconds).
+RESTART_DELAY_RANGE_S = (4.0, 12.0)
+
+
+class BackgroundWorkload:
+    """Launches a set of apps and keeps them alive (restarting killed
+    ones) in the background."""
+
+    def __init__(self, device: Device, count: int = 8, restart: bool = True) -> None:
+        self.device = device
+        self.manager = device.memory
+        self.specs: List[AppSpec] = top_apps(count)
+        self.processes: List[MemProcess] = []
+        self.restart = restart
+        self.restarts = 0
+        self._launched = 0
+        self._stopped = False
+        self._on_settled: Optional[Callable[[], None]] = None
+        self._rng = device.sim.random.stream("workload.background")
+
+    def launch_all(self, on_settled: Optional[Callable[[], None]] = None) -> None:
+        """Open each app in sequence; ``on_settled`` fires once the last
+        app has been launched and backgrounded."""
+        self._on_settled = on_settled
+        self._launch_next()
+
+    def stop(self) -> None:
+        """Stop restarting killed apps (experiment teardown)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _launch_next(self) -> None:
+        if self._launched >= len(self.specs):
+            if self._on_settled is not None:
+                self._on_settled()
+            return
+        spec = self.specs[self._launched]
+        recency = len(self.specs) - self._launched
+        self._launched += 1
+
+        def launched() -> None:
+            self.device.sim.schedule(
+                LAUNCH_SPACING, self._launch_next, label="bg:launch"
+            )
+
+        self._start_app(spec, recency, on_running=launched)
+
+    def _start_app(
+        self,
+        spec: AppSpec,
+        recency: int,
+        on_running: Optional[Callable[[], None]] = None,
+        restarted: bool = False,
+    ) -> None:
+        suffix = f".r{self.restarts}" if restarted else ""
+        process = self.manager.spawn_process(
+            spec.name + suffix, OomAdj.FOREGROUND, dirty_fraction=0.12
+        )
+        thread = self.manager.spawn_thread(
+            process, f"{spec.name}{suffix}.main", SchedClass.FOREGROUND
+        )
+        self.processes.append(process)
+        remaining = mb_to_pages(spec.pss_mb)
+        chunk = mb_to_pages(LAUNCH_CHUNK_MB)
+
+        def allocate(left: int) -> None:
+            if not process.alive:
+                return
+            if left <= 0:
+                backgrounded()
+                return
+            take = min(chunk, left)
+            self.manager.request_pages(
+                process,
+                thread,
+                take,
+                kind="anon",
+                hot_fraction=spec.background_hot_fraction,
+                on_granted=lambda: allocate(left - take),
+            )
+
+        def backgrounded() -> None:
+            # App loses focus: demote into the cached LRU range, most
+            # recently used = lowest adj.
+            process.oom_adj = min(
+                OomAdj.CACHED_MAX, OomAdj.CACHED_MIN + recency * 10
+            )
+            self._sync_tick(process, thread, spec)
+            if self.restart:
+                process.on_kill.append(
+                    lambda _reason: self._schedule_restart(spec, recency)
+                )
+            if on_running is not None:
+                on_running()
+
+        allocate(remaining)
+
+    def _schedule_restart(self, spec: AppSpec, recency: int) -> None:
+        """Popular apps' services restart shortly after a kill."""
+        if self._stopped:
+            return
+        lo, hi = RESTART_DELAY_RANGE_S
+        delay = seconds(self._rng.uniform(lo, hi))
+
+        def restart() -> None:
+            if self._stopped:
+                return
+            self.restarts += 1
+            self._start_app(spec, recency, restarted=True)
+
+        self.device.sim.schedule(delay, restart, label="bg:restart")
+
+    def _sync_tick(self, process: MemProcess, thread: Thread, spec: AppSpec) -> None:
+        """Periodic light activity: push notifications, sync jobs."""
+        if not process.alive or self._stopped:
+            return
+        hot = process.pools.hot_total
+        if hot > 0:
+            self.manager.touch(process, thread, max(1, hot // 20))
+        self.device.sim.schedule(
+            SYNC_PERIOD, self._sync_tick, process, thread, spec, label="bg:sync"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for p in self.processes if p.alive)
+
+    @property
+    def killed_count(self) -> int:
+        return len(self.processes) - self.alive_count

@@ -1,0 +1,123 @@
+"""MP Simulator analog: controlled synthetic memory pressure.
+
+The paper applies pressure with a native Android app (from Qazi et al.,
+SIGCOMM CCR '20) that "allocates memory until a target memory pressure
+regime is achieved" (§4.1).  The tool runs on rooted devices, so it is
+modelled as a native (oom_adj < 0) process that lmkd cannot kill —
+otherwise the killer would dismantle the pressure it is supposed to
+hold.
+
+The control loop allocates until the first time the target OnTrimMemory
+level is observed, then **latches**: the allocation is held (and kept
+hot, defeating zRAM the way the real tool's page-dirtying loop does)
+but never grown further.  The held memory is a pressure *floor*: what
+happens next — whether the video client tips the device into kills and
+crashes — depends on the client's own footprint, which is exactly the
+resolution/frame-rate gradient of Tables 2 and 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..device.device import Device
+from ..kernel.memory import mb_to_pages
+from ..kernel.pressure import MemoryPressureLevel
+from ..sched.scheduler import SchedClass
+from ..sim.clock import Time, millis
+
+#: Allocation step per control tick.
+ALLOC_STEP_MB = 24.0
+#: Control loop period.
+CONTROL_PERIOD: Time = millis(240)
+#: Fraction of the held working set re-touched per control tick.
+TOUCH_FRACTION = 0.12
+
+
+class MPSimulator:
+    """Drives a device to a target memory-pressure level and holds it."""
+
+    def __init__(self, device: Device, target: MemoryPressureLevel) -> None:
+        self.device = device
+        self.target = target
+        self.manager = device.memory
+        self.process = self.manager.spawn_process(
+            "mp.simulator", -800, dirty_fraction=0.0
+        )
+        self.thread = self.manager.spawn_thread(
+            self.process, "mp.simulator.main", SchedClass.FOREGROUND
+        )
+        self._engaged = False
+        self._reached = False
+        self._on_reached: Optional[Callable[[], None]] = None
+        self._alloc_pending = False
+
+    # ------------------------------------------------------------------
+    @property
+    def held_mb(self) -> float:
+        return self.process.pss_mb
+
+    @property
+    def reached(self) -> bool:
+        return self._reached
+
+    def engage(self, on_reached: Optional[Callable[[], None]] = None) -> None:
+        """Start the control loop; ``on_reached`` fires the first time
+        the device reports the target level (immediately for NORMAL)."""
+        if self._engaged:
+            raise RuntimeError("MP simulator already engaged")
+        self._engaged = True
+        self._on_reached = on_reached
+        if self.target is MemoryPressureLevel.NORMAL:
+            self._reached = True
+            if on_reached is not None:
+                self.device.sim.schedule(0, on_reached, label="mpsim:reached")
+            return
+        self._tick()
+
+    def release_all(self) -> None:
+        """Free the whole held allocation (experiment teardown)."""
+        resident = self.process.pools.resident_anon
+        if resident > 0:
+            self.manager.release_pages(self.process, resident, "anon")
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if not self.process.alive:
+            return
+        level = self.device.pressure_level
+        if not self._reached:
+            if level < self.target:
+                self._allocate_step()
+            else:
+                self._reached = True
+                if self._on_reached is not None:
+                    self._on_reached()
+        self._keep_hot()
+        self.device.sim.schedule(CONTROL_PERIOD, self._tick, label="mpsim:tick")
+
+    def _allocate_step(self) -> None:
+        if self._alloc_pending:
+            return
+        self._alloc_pending = True
+
+        def granted() -> None:
+            self._alloc_pending = False
+
+        self.manager.request_pages(
+            self.process,
+            self.thread,
+            mb_to_pages(ALLOC_STEP_MB),
+            kind="anon",
+            hot_fraction=1.0,
+            on_granted=granted,
+        )
+
+    def _keep_hot(self) -> None:
+        """Re-dirty a slice of the held memory so it stays unreclaimable
+        (and refaults if the kernel swapped it out anyway)."""
+        hot = self.process.pools.hot_total
+        if hot > 0:
+            self.manager.touch(
+                self.process, self.thread, max(1, round(hot * TOUCH_FRACTION))
+            )

@@ -1,0 +1,134 @@
+"""Tests for ABR controllers, including memory-aware ABR."""
+
+import pytest
+
+from repro.core.abr import (
+    BolaAbr,
+    BufferBasedAbr,
+    FixedAbr,
+    MemoryAwareAbr,
+    RateBasedAbr,
+)
+from repro.core.signals import MemoryPressureLevel
+from repro.device import nexus5
+from repro.video import VideoPlayer
+from repro.video.encoding import GENRES, VideoAsset
+
+
+def make_player(frame_rates=(24, 48, 60), resolution="480p", fps=60):
+    device = nexus5(seed=20)
+    asset = VideoAsset("t", GENRES["travel"], 20.0, frame_rates=frame_rates)
+    return VideoPlayer(device, asset, resolution, fps)
+
+
+def test_fixed_abr_never_switches():
+    player = make_player()
+    assert FixedAbr().choose_representation(player) is None
+
+
+def test_rate_based_fits_throughput():
+    player = make_player(fps=60)
+    player.throughput_history.append((0.0, 6.0))  # 6 Mbps
+    choice = RateBasedAbr(safety=0.8, fps=60).choose_representation(player)
+    # budget 4.8 Mbps -> highest 60fps rung at or below is 480p (4 Mbps).
+    assert choice.resolution == "480p"
+    assert choice.fps == 60
+
+
+def test_rate_based_no_estimate_keeps_current():
+    player = make_player()
+    assert RateBasedAbr().choose_representation(player) is None
+
+
+def test_rate_based_floor_at_lowest_rung():
+    player = make_player(fps=60)
+    player.throughput_history.append((0.0, 0.1))
+    choice = RateBasedAbr(fps=60).choose_representation(player)
+    assert choice.bitrate_kbps == min(
+        rep.bitrate_kbps for rep in player.manifest.representations
+        if rep.fps == 60
+    )
+
+
+def test_buffer_based_maps_occupancy():
+    player = make_player(fps=60)
+    abr = BufferBasedAbr(reservoir_s=5, cushion_s=30, fps=60)
+    player.buffer.level_s = 0.0
+    low = abr.choose_representation(player)
+    player.buffer.level_s = 50.0
+    high = abr.choose_representation(player)
+    assert low.bitrate_kbps < high.bitrate_kbps
+
+
+def test_buffer_based_validation():
+    with pytest.raises(ValueError):
+        BufferBasedAbr(reservoir_s=10, cushion_s=5)
+    with pytest.raises(ValueError):
+        RateBasedAbr(safety=0.0)
+
+
+def test_bola_prefers_higher_rungs_with_full_buffer():
+    player = make_player(fps=60)
+    abr = BolaAbr(fps=60)
+    player.buffer.level_s = 0.0
+    starved = abr.choose_representation(player)
+    player.buffer.level_s = 55.0
+    full = abr.choose_representation(player)
+    assert full.bitrate_kbps >= starved.bitrate_kbps
+    assert starved.bitrate_kbps == min(
+        rep.bitrate_kbps for rep in player.manifest.representations
+        if rep.fps == 60
+    )
+
+
+def test_memory_aware_caps_frame_rate_on_moderate():
+    player = make_player()
+    abr = MemoryAwareAbr()
+    abr._level = MemoryPressureLevel.MODERATE
+    choice = abr._apply_memory_caps(player, player.current_rep)
+    assert choice.fps == 24
+
+
+def test_memory_aware_steps_resolution_down_on_critical():
+    player = make_player(resolution="720p")
+    abr = MemoryAwareAbr()
+    abr._level = MemoryPressureLevel.CRITICAL
+    choice = abr._apply_memory_caps(player, player.current_rep)
+    assert choice.fps == 24
+    assert choice.resolution == "360p"  # two steps below 720p
+
+
+def test_memory_aware_normal_passthrough():
+    player = make_player()
+    abr = MemoryAwareAbr()
+    proposal = player.manifest.representation("480p", 60)
+    assert abr._apply_memory_caps(player, proposal) is proposal
+
+
+def test_memory_aware_signal_triggers_switch():
+    player = make_player()
+    abr = MemoryAwareAbr(flush_on_signal=False)
+    abr.on_pressure_signal(player, MemoryPressureLevel.MODERATE)
+    assert player.current_rep.fps == 24
+    assert abr.decision_log
+
+
+def test_memory_aware_wraps_inner_controller():
+    player = make_player(fps=60)
+    player.throughput_history.append((0.0, 50.0))
+    abr = MemoryAwareAbr(inner=RateBasedAbr(fps=60))
+    # choose_representation polls the device's live level.
+    player.manager.monitor.level = MemoryPressureLevel.MODERATE
+    choice = abr.choose_representation(player)
+    assert choice.fps == 24
+
+
+def test_memory_aware_polls_live_level():
+    player = make_player(fps=60)
+    player.manager.monitor.level = MemoryPressureLevel.CRITICAL
+    choice = MemoryAwareAbr().choose_representation(player)
+    assert choice.fps == 24
+    # Recovery: pressure clears, the cap is lifted on the next choose.
+    player.manager.monitor.level = MemoryPressureLevel.NORMAL
+    relaxed = MemoryAwareAbr().choose_representation(player)
+    assert relaxed.fps == player.current_rep.fps

@@ -1,0 +1,56 @@
+"""Tests for aggregate statistics (means and confidence intervals)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.analysis import CellStats, mean_ci, t_quantile_975
+
+
+def test_mean_ci_basic():
+    mean, half = mean_ci([1.0, 2.0, 3.0])
+    assert mean == pytest.approx(2.0)
+    # sd = 1, se = 1/sqrt(3), t(df=2) = 4.303
+    assert half == pytest.approx(4.303 / math.sqrt(3), rel=1e-3)
+
+
+def test_mean_ci_single_sample():
+    assert mean_ci([5.0]) == (5.0, 0.0)
+
+
+def test_mean_ci_empty_rejected():
+    with pytest.raises(ValueError):
+        mean_ci([])
+
+
+def test_t_quantiles():
+    assert t_quantile_975(1) == pytest.approx(12.706)
+    assert t_quantile_975(30) == pytest.approx(2.042)
+    assert t_quantile_975(1000) == pytest.approx(1.96)
+    with pytest.raises(ValueError):
+        t_quantile_975(0)
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=40))
+def test_ci_contains_mean_and_nonnegative(values):
+    mean, half = mean_ci(values)
+    assert half >= 0
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+def test_cell_stats_aggregation():
+    class FakeResult:
+        def __init__(self, drop, crash, pss):
+            self.drop_rate = drop
+            self.crashed = crash
+            self.pss_mean_mb = pss
+
+    results = [FakeResult(0.1, False, 200), FakeResult(0.3, True, 220)]
+    stats = CellStats.from_results(results)
+    assert stats.n == 2
+    assert stats.mean_drop_rate == pytest.approx(0.2)
+    assert stats.crash_rate == pytest.approx(0.5)
+    assert stats.mean_pss_mb == pytest.approx(210)
+    assert "drop" in stats.row()

@@ -1,0 +1,60 @@
+"""Tests for the device-capability profiler."""
+
+from repro.core.capability import (
+    RungScore,
+    playable_matrix,
+    profile_device,
+    recommend_ladder,
+)
+
+
+def score(res, fps, pressure="normal", drop=0.0, crash=0.0):
+    return RungScore(res, fps, pressure, drop, crash)
+
+
+def test_playable_definition():
+    assert score("480p", 30).playable
+    assert not score("480p", 30, drop=0.2).playable
+    assert not score("480p", 30, crash=0.5).playable
+
+
+def test_playable_matrix_shape():
+    scores = [score("240p", 30), score("480p", 60, drop=0.3),
+              score("240p", 30, pressure="moderate", crash=1.0)]
+    matrix = playable_matrix(scores)
+    assert matrix["normal"][("240p", 30)] is True
+    assert matrix["normal"][("480p", 60)] is False
+    assert matrix["moderate"][("240p", 30)] is False
+
+
+def test_recommend_ladder_sorted_and_deduped():
+    scores = [
+        score("240p", 24), score("240p", 30),  # same bitrate rung (500)
+        score("480p", 30), score("1080p", 60, drop=0.9),
+    ]
+    ladder = recommend_ladder(scores, "normal")
+    bitrates = [kbps for _, _, kbps in ladder]
+    assert bitrates == sorted(set(bitrates))
+    assert ("1080p", 60, 12000) not in ladder
+
+
+def test_profile_device_small_sweep():
+    scores = profile_device(
+        "nexus6p", pressures=("normal",), resolutions=("240p", "480p"),
+        frame_rates=(30,), duration_s=6.0, repetitions=1,
+    )
+    assert len(scores) == 2
+    assert all(s.playable for s in scores)  # a 3 GB phone at Normal
+
+
+def test_entry_device_ladder_shrinks_under_pressure():
+    scores = profile_device(
+        "nokia1", pressures=("normal", "moderate"),
+        resolutions=("240p", "1080p"), frame_rates=(24, 60),
+        duration_s=8.0, repetitions=1,
+    )
+    normal = recommend_ladder(scores, "normal")
+    moderate = recommend_ladder(scores, "moderate")
+    assert len(moderate) <= len(normal)
+    # 1080p@60 is never recommended for a Nokia 1.
+    assert ("1080p", 60, 12000) not in normal

@@ -1,0 +1,110 @@
+"""Tests for QoE metrics and the DMOS psychometric model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.qoe import (
+    QoeSummary,
+    dmos_histogram,
+    expected_dmos,
+    sample_dmos_ratings,
+)
+
+
+def test_no_extra_drops_scores_five():
+    assert expected_dmos(0.03, 0.03) == pytest.approx(5.0)
+    assert expected_dmos(0.10, 0.05) == pytest.approx(5.0)  # improvement
+
+
+def test_score_decreases_with_drop_delta():
+    scores = [expected_dmos(0.0, d) for d in (0.0, 0.1, 0.3, 0.6, 1.0)]
+    assert scores == sorted(scores, reverse=True)
+    assert scores[-1] >= 1.0
+
+
+@given(
+    ref=st.floats(min_value=0, max_value=1),
+    deg=st.floats(min_value=0, max_value=1),
+)
+def test_expected_dmos_bounded(ref, deg):
+    score = expected_dmos(ref, deg)
+    assert 1.0 <= score <= 5.0
+
+
+def test_sampled_ratings_discrete_and_bounded():
+    rng = np.random.default_rng(0)
+    ratings = sample_dmos_ratings(0.03, 0.35, 500, rng)
+    assert len(ratings) == 500
+    assert all(isinstance(r, int) and 1 <= r <= 5 for r in ratings)
+
+
+def test_histogram_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        dmos_histogram([0])
+    with pytest.raises(ValueError):
+        dmos_histogram([6])
+
+
+def test_qoe_summary_mos():
+    clean = QoeSummary(drop_rate=0.0, mean_rendered_fps=30.0,
+                       rebuffer_ratio=0.0, crashed=False)
+    janky = QoeSummary(drop_rate=0.4, mean_rendered_fps=18.0,
+                       rebuffer_ratio=0.0, crashed=False)
+    dead = QoeSummary(drop_rate=0.0, mean_rendered_fps=0.0,
+                      rebuffer_ratio=0.0, crashed=True)
+    assert clean.mos == pytest.approx(5.0)
+    assert janky.mos < clean.mos
+    assert dead.mos == 1.0
+
+
+def test_linear_qoe_components():
+    from repro.core.qoe import LinearQoeWeights, linear_qoe
+
+    class FakeResult:
+        duration_s = 20.0
+        rebuffer_s = 0.0
+        drop_rate = 0.0
+        crashed = False
+        played_bitrates_kbps = [4000, 4000, 4000]
+
+    assert linear_qoe(FakeResult()) == pytest.approx(4.0)
+
+    class Switchy(FakeResult):
+        played_bitrates_kbps = [1000, 8000, 1000]
+
+    # switching magnitude (7+7)/3 Mbps subtracted from the 10/3 mean.
+    expected = (10 / 3) - (14 / 3)
+    assert linear_qoe(Switchy()) == pytest.approx(expected)
+
+    class Crashy(FakeResult):
+        crashed = True
+        drop_rate = 0.5
+
+    score = linear_qoe(Crashy())
+    assert score < linear_qoe(FakeResult()) - 20
+
+
+def test_linear_qoe_empty_session():
+    from repro.core.qoe import linear_qoe
+
+    class Nothing:
+        duration_s = 10.0
+        rebuffer_s = 0.0
+        drop_rate = 0.0
+        crashed = True
+        played_bitrates_kbps = []
+
+    assert linear_qoe(Nothing()) == -20.0
+
+
+def test_played_bitrates_recorded_in_session():
+    from repro.core.session import StreamingSession
+
+    result = StreamingSession(
+        device="nexus5", resolution="480p", frame_rate=30,
+        duration_s=8.0, seed=21,
+    ).run()
+    assert result.played_bitrates_kbps
+    assert all(kbps == 2500 for kbps in result.played_bitrates_kbps)

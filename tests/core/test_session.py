@@ -1,0 +1,71 @@
+"""Tests for the high-level streaming-session API."""
+
+import pytest
+
+from repro.core.session import StreamingSession, _parse_pressure
+from repro.core.signals import MemoryPressureLevel
+
+
+def test_parse_pressure_strings():
+    assert _parse_pressure("normal") is MemoryPressureLevel.NORMAL
+    assert _parse_pressure("MODERATE") is MemoryPressureLevel.MODERATE
+    assert _parse_pressure(MemoryPressureLevel.LOW) is MemoryPressureLevel.LOW
+    with pytest.raises(ValueError):
+        _parse_pressure("extreme")
+
+
+def test_unknown_device_rejected():
+    with pytest.raises(ValueError):
+        StreamingSession(device="pixel9")
+
+
+def test_unknown_client_rejected():
+    with pytest.raises(ValueError):
+        StreamingSession(client="safari")
+
+
+def test_normal_session_completes():
+    session = StreamingSession(
+        device="nexus5", resolution="480p", frame_rate=30,
+        pressure="normal", duration_s=8.0, seed=1,
+    )
+    result = session.run()
+    assert result.frames_processed == 240
+    assert not result.crashed
+    assert result.device_name == "Nexus 5"
+
+
+def test_session_single_use():
+    session = StreamingSession(duration_s=5.0, seed=2)
+    session.run()
+    with pytest.raises(RuntimeError):
+        session.run()
+
+
+def test_pressure_session_engages_mpsim():
+    session = StreamingSession(
+        device="nokia1", resolution="240p", frame_rate=30,
+        pressure="moderate", duration_s=8.0, seed=3,
+    )
+    result = session.run()
+    assert session.mpsim is not None
+    assert session.mpsim.held_mb > 0
+    # OnTrimMemory signals were observed by the client.
+    assert result.signals
+
+
+def test_organic_session_launches_apps():
+    session = StreamingSession(
+        device="nokia1", resolution="240p", frame_rate=30,
+        pressure="normal", duration_s=8.0, seed=4, organic_apps=3,
+    )
+    session.run()
+    assert session.background is not None
+    assert session.background._launched == 3
+
+
+def test_playback_start_callback_runs():
+    events = []
+    session = StreamingSession(duration_s=5.0, seed=5)
+    session.run(on_playback_start=lambda: events.append(True))
+    assert events == [True]

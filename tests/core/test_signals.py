@@ -1,0 +1,39 @@
+"""Tests for the application-facing signal listener."""
+
+from repro.core.signals import MemoryPressureLevel, SignalListener
+from repro.kernel.pressure import PressureMonitor, PressureThresholds
+from repro.kernel.process import MemProcess, ProcessTable
+from repro.sim import Simulator, seconds
+
+
+def make_listener(n_cached=6):
+    sim = Simulator(seed=1)
+    table = ProcessTable()
+    for i in range(n_cached):
+        table.add(MemProcess(f"c{i}", 900 + i))
+    monitor = PressureMonitor(sim, table, PressureThresholds())
+    return sim, monitor, SignalListener(monitor)
+
+
+def test_listener_starts_empty():
+    sim, monitor, listener = make_listener()
+    assert listener.total_signals == 0
+    assert listener.latest_level() is MemoryPressureLevel.NORMAL
+
+
+def test_listener_accumulates_signals():
+    sim, monitor, listener = make_listener(n_cached=6)
+    monitor.note_kswapd_activity()
+    assert listener.total_signals == 1
+    assert listener.latest_level() is MemoryPressureLevel.MODERATE
+    counts = listener.counts()
+    assert counts[MemoryPressureLevel.MODERATE] == 1
+    assert counts[MemoryPressureLevel.CRITICAL] == 0
+
+
+def test_signals_per_hour():
+    sim, monitor, listener = make_listener(n_cached=6)
+    monitor.note_kswapd_activity()
+    rate = listener.signals_per_hour(seconds(1800))
+    assert rate == 2.0  # 1 signal in half an hour
+    assert listener.signals_per_hour(0) == 0.0

@@ -1,0 +1,93 @@
+"""Tests for provider-side telemetry with memory visibility."""
+
+import pytest
+
+from repro.core.session import StreamingSession
+from repro.core.telemetry import (
+    TelemetryBeacon,
+    TelemetryCollector,
+    beacon_from_result,
+)
+from repro.kernel.pressure import MemoryPressureLevel
+
+
+def make_beacon(drop=0.0, rebuffer=0.0, crashed=False, signals=None, ram=2048):
+    return TelemetryBeacon(
+        device_model="Test", device_ram_mb=ram, client="firefox",
+        resolution="480p", fps=30, duration_s=30.0,
+        drop_rate=drop, rebuffer_ratio=rebuffer, crashed=crashed,
+        mean_throughput_mbps=50.0, pressure_signals=signals or {},
+    )
+
+
+def test_beacon_classification():
+    clean = make_beacon()
+    assert not clean.bad_qoe and not clean.network_impaired
+    assert not clean.saw_memory_pressure
+    assert clean.worst_level is MemoryPressureLevel.NORMAL
+
+    stressed = make_beacon(drop=0.3, signals={"MODERATE": 2, "CRITICAL": 1})
+    assert stressed.bad_qoe
+    assert stressed.saw_memory_pressure
+    assert stressed.worst_level is MemoryPressureLevel.CRITICAL
+
+    starved = make_beacon(rebuffer=0.2)
+    assert starved.network_impaired
+
+
+def test_disambiguation_report_quadrants():
+    collector = TelemetryCollector()
+    collector.ingest(make_beacon())                                  # good/good
+    collector.ingest(make_beacon(drop=0.4, signals={"MODERATE": 3}))  # mem-bad
+    collector.ingest(make_beacon(rebuffer=0.2, drop=0.2))            # net-bad
+    report = collector.disambiguation_report()
+    assert report[(False, False)].sessions == 1
+    assert report[(False, True)].bad_qoe_rate == 1.0
+    assert report[(True, False)].sessions == 1
+
+
+def test_pressure_attribution():
+    collector = TelemetryCollector()
+    assert collector.pressure_attribution() is None
+    collector.ingest(make_beacon(drop=0.4, signals={"LOW": 1}))
+    collector.ingest(make_beacon(drop=0.4))
+    assert collector.pressure_attribution() == pytest.approx(0.5)
+
+
+def test_crash_rate_by_ram():
+    collector = TelemetryCollector()
+    collector.ingest(make_beacon(crashed=True, ram=1024))
+    collector.ingest(make_beacon(crashed=False, ram=1024))
+    collector.ingest(make_beacon(crashed=False, ram=3072))
+    rates = collector.crash_rate_by_ram()
+    assert rates[1024] == 0.5
+    assert rates[3072] == 0.0
+
+
+def test_beacon_from_real_session():
+    session = StreamingSession(
+        device="nokia1", resolution="480p", frame_rate=60,
+        pressure="moderate", duration_s=10.0, seed=17,
+    )
+    result = session.run()
+    beacon = beacon_from_result(
+        result,
+        device_ram_mb=session.device.profile.ram_mb,
+        mean_throughput_mbps=session.player.estimated_throughput_mbps(),
+    )
+    assert beacon.device_model == "Nokia 1"
+    assert beacon.device_ram_mb == 1024
+    assert beacon.saw_memory_pressure  # Moderate runs always signal
+    assert 0.0 <= beacon.rebuffer_ratio <= 1.0
+
+
+def test_qoe_by_worst_level_ordering():
+    """Sessions that reported worse pressure levels have worse QoE."""
+    collector = TelemetryCollector()
+    collector.ingest(make_beacon(drop=0.01))
+    collector.ingest(make_beacon(drop=0.30, signals={"MODERATE": 1}))
+    collector.ingest(make_beacon(drop=0.70, crashed=True,
+                                 signals={"CRITICAL": 4}))
+    by_level = collector.qoe_by_worst_level()
+    assert by_level["NORMAL"].mean_drop_rate < by_level["MODERATE"].mean_drop_rate
+    assert by_level["MODERATE"].mean_drop_rate < by_level["CRITICAL"].mean_drop_rate

@@ -1,0 +1,82 @@
+"""Tests for device profiles and the booted Device."""
+
+import pytest
+
+from repro.device import Device, generic_profile, nexus5, nexus6p, nokia1
+from repro.device.profiles import PROFILES, nokia1_profile
+from repro.kernel import MemoryPressureLevel, mb_to_pages
+from repro.sched.cpu import make_cores
+from repro.sim import seconds
+
+
+def test_paper_device_specs():
+    n1 = nokia1_profile()
+    assert n1.ram_mb == 1024
+    assert n1.n_cores == 4
+    assert n1.core_freqs_ghz == (1.1,) * 4
+    assert n1.pressure_thresholds.moderate == 6
+    assert n1.pressure_thresholds.critical == 3
+
+    n6p = nexus6p(seed=0).profile
+    assert n6p.ram_mb == 3072
+    assert n6p.n_cores == 8
+    assert set(n6p.core_clusters) == {"little", "big"}
+
+
+def test_decode_capability_ordering():
+    assert (
+        nokia1_profile().decode_cost_multiplier
+        > nexus5(seed=0).profile.decode_cost_multiplier
+        > nexus6p(seed=0).profile.decode_cost_multiplier
+    )
+
+
+def test_boot_is_idempotent():
+    device = nokia1(seed=1)
+    processes_before = len(device.memory.table.processes)
+    device.boot()
+    assert len(device.memory.table.processes) == processes_before
+
+
+def test_boot_populates_lru():
+    device = nexus5(seed=2)
+    assert device.memory.table.cached_count == device.profile.cached_app_count
+    assert device.pressure_level is MemoryPressureLevel.NORMAL
+    assert device.free_mb > 400
+    device.memory.check_consistency()
+
+
+def test_generic_profile_scales():
+    small = generic_profile("s", ram_mb=512)
+    large = generic_profile("l", ram_mb=4096)
+    assert large.cached_app_count >= small.cached_app_count
+    assert large.kernel_reserved_mb > small.kernel_reserved_mb
+    Device(small, seed=3).boot().memory.check_consistency()
+
+
+def test_registry():
+    assert set(PROFILES) == {"nokia1", "nexus5", "nexus6p"}
+
+
+def test_respawn_restores_cached_population():
+    device = nokia1(seed=4)
+    victim = device.cached_apps[0]
+    device.memory.kill_process(victim, "lmkd")
+    count_after_kill = device.memory.table.cached_count
+    device.run(until=seconds(30))
+    assert device.memory.table.cached_count > count_after_kill
+    assert device.respawn_count >= 1
+
+
+def test_no_respawn_when_disabled():
+    from repro.device.profiles import nokia1_profile
+
+    device = Device(nokia1_profile(), seed=5, auto_respawn=False).boot()
+    device.memory.kill_process(device.cached_apps[0], "lmkd")
+    device.run(until=seconds(30))
+    assert device.respawn_count == 0
+
+
+def test_make_cores_validation():
+    with pytest.raises(ValueError):
+        make_cores([1.0, 2.0], clusters=["a"])

@@ -1,0 +1,41 @@
+"""Tests for the eMMC storage model."""
+
+from repro.device.storage import StorageDevice, StorageProfile
+from repro.sim.rng import RandomStreams
+
+
+def make_storage(jitter=0.0):
+    return StorageDevice(StorageProfile(jitter_sigma=jitter), RandomStreams(1))
+
+
+def test_read_time_scales_with_pages():
+    storage = make_storage()
+    assert storage.read_time(100) > storage.read_time(1)
+
+
+def test_writes_slower_than_reads():
+    storage = make_storage()
+    assert storage.write_time(64) > storage.read_time(64)
+
+
+def test_counters_accumulate():
+    storage = make_storage()
+    storage.read_time(10)
+    storage.read_time(5)
+    storage.write_time(3)
+    assert storage.reads == 2
+    assert storage.writes == 1
+    assert storage.pages_read == 15
+    assert storage.pages_written == 3
+
+
+def test_jitter_varies_service_times():
+    storage = StorageDevice(StorageProfile(jitter_sigma=0.3), RandomStreams(2))
+    times = {storage.read_time(16) for _ in range(10)}
+    assert len(times) > 1
+
+
+def test_deterministic_without_jitter():
+    a = make_storage().read_time(32)
+    b = make_storage().read_time(32)
+    assert a == b

@@ -1,0 +1,37 @@
+"""Unit tests for the §6 adaptation experiment helpers."""
+
+import pytest
+
+from repro.experiments import adaptation_experiments as adapt
+
+
+def test_schedule_must_start_at_zero():
+    with pytest.raises(ValueError):
+        adapt.timed_frame_rate_run("480p", [(5.0, 60)], duration_s=10.0)
+
+
+def test_timed_run_records_switches():
+    run = adapt.timed_frame_rate_run(
+        "480p", [(0.0, 60), (5.0, 24)], duration_s=12.0, device="nexus5",
+    )
+    assert run.schedule == ((0.0, 60), (5.0, 24))
+    assert run.switch_log, "the 5s switch never fired"
+    assert run.switch_log[0][2] == 24
+    assert not run.crashed
+
+
+def test_fps_series_tracks_encoded_rate():
+    run = adapt.timed_frame_rate_run(
+        "480p", [(0.0, 60), (6.0, 24)], duration_s=14.0, device="nexus6p",
+    )
+    # The tail renders at ~24 FPS.
+    tail = run.fps_series[-4:-1]
+    assert all(fps <= 25 for fps in tail)
+
+
+def test_fig16_covers_requested_resolutions():
+    runs = adapt.fig16_frame_rate_sweep(
+        resolutions=("480p",), duration_s=12.0, device="nexus5",
+    )
+    assert set(runs) == {"480p"}
+    assert runs["480p"].fps_series

@@ -1,0 +1,116 @@
+"""Fast smoke tests over the per-figure experiment functions.
+
+These use sharply reduced durations/repetitions — the full-scale runs
+live in benchmarks/.  What is asserted here is structure and the
+direction of the paper's headline effects.
+"""
+
+import pytest
+
+from repro.experiments import (
+    adaptation_experiments as adapt,
+    study_experiments as study,
+    trace_experiments as trace,
+    video_experiments as video,
+)
+from repro.sched.states import ThreadState
+
+
+def test_fig8_pss_increases_with_encoding():
+    table = video.fig8_pss_by_encoding(
+        resolutions=("240p", "1080p"), frame_rates=(30, 60),
+        duration_s=8.0, repetitions=1,
+    )
+    assert table[("1080p", 30)]["mean_mb"] > table[("240p", 30)]["mean_mb"]
+    assert table[("1080p", 60)]["mean_mb"] > table[("1080p", 30)]["mean_mb"]
+    assert table[("240p", 30)]["max_mb"] >= table[("240p", 30)]["mean_mb"]
+
+
+def test_drop_grid_pressure_effect():
+    grid = video.drop_grid(
+        "nokia1", resolutions=("720p",), frame_rates=(60,),
+        pressures=("normal", "critical"), duration_s=8.0, repetitions=1,
+    )
+    normal = grid[("720p", 60, "normal")].stats
+    critical = grid[("720p", 60, "critical")].stats
+    worse = (critical.mean_drop_rate > normal.mean_drop_rate
+             or critical.crash_rate > normal.crash_rate)
+    assert worse
+    rows = video.summarize_drop_grid(grid)
+    assert len(rows) == 2
+
+
+def test_crash_table_structure():
+    table = video.crash_table(
+        "nokia1", cells=((60, "480p"),), pressures=("normal", "critical"),
+        duration_s=8.0, repetitions=2,
+    )
+    assert table[(60, "480p", "normal")] == 0.0
+    assert table[(60, "480p", "critical")] == 1.0
+
+
+def test_profiled_run_moderate_increases_waiting():
+    normal = trace.profiled_run("normal", duration_s=8.0, seed=41)
+    moderate = trace.profiled_run("moderate", duration_s=8.0, seed=41)
+    n_wait = normal.video_state_times()[ThreadState.RUNNABLE_PREEMPTED]
+    m_wait = moderate.video_state_times()[ThreadState.RUNNABLE_PREEMPTED]
+    assert m_wait > n_wait
+
+
+def test_kswapd_runs_more_under_moderate():
+    runs = trace.fig13_kswapd_states(duration_s=8.0, seed=43)
+    assert (
+        runs["moderate"][ThreadState.RUNNING]
+        > runs["normal"][ThreadState.RUNNING]
+    )
+    assert (
+        runs["moderate"][ThreadState.SLEEPING]
+        < runs["normal"][ThreadState.SLEEPING]
+    )
+
+
+def test_fig16_frame_rate_recovery():
+    runs = adapt.fig16_frame_rate_sweep(
+        resolutions=("1080p",), duration_s=18.0,
+    )
+    series = runs["1080p"].fps_series
+    assert series
+    # The final (24 FPS) third renders at a higher rate than the
+    # initial (60 FPS) third manages on a Nokia 1.
+    first_third = series[2:5]
+    last_third = series[-4:-1]
+    assert sum(last_third) / len(last_third) > sum(first_third) / len(first_third)
+
+
+def test_memory_aware_abr_beats_fixed():
+    outcome = adapt.memory_aware_comparison(
+        duration_s=25.0, repetitions=3,
+    )
+    fixed = outcome["fixed"]
+    aware = outcome["memory_aware"]
+    better = (
+        aware["mean_drop_rate"] < fixed["mean_drop_rate"]
+        or aware["crash_rate"] < fixed["crash_rate"]
+    )
+    assert better
+
+
+def test_study_pipeline_end_to_end():
+    devices = study.build_study(scale=0.03, seed=1, n_users=10)
+    assert devices
+    summary = study.table1_summary(devices)
+    assert summary["devices"] == len(devices)
+    cdf = study.fig2_utilization_cdf(devices)
+    assert cdf[-1][1] == 1.0
+    rates = study.fig3_signal_rates(devices)
+    assert len(rates) == len(devices)
+
+
+def test_fig10_dmos_majority_annoyed():
+    survey = study.fig10_dmos(0.03, 0.35, seed=2)
+    assert survey.fraction_annoyed > 0.5
+
+
+def test_fig1_usage_survey_ordering():
+    survey = study.fig1_usage_heatmap(seed=3)
+    assert survey.activity_order()[0] == "streaming_videos"

@@ -1,0 +1,32 @@
+"""Tests for the experiment repetition machinery."""
+
+from repro.experiments.runner import CellResult, run_cell
+
+
+def test_run_cell_repetitions_and_seeds():
+    cell = run_cell(
+        device="nexus5", resolution="240p", fps=30,
+        pressure="normal", duration_s=6.0, repetitions=2,
+    )
+    assert isinstance(cell, CellResult)
+    assert len(cell.results) == 2
+    assert cell.stats.n == 2
+    assert cell.client == "firefox"
+    assert "240p@30" in cell.label()
+
+
+def test_normal_cell_is_clean_on_big_device():
+    cell = run_cell(
+        device="nexus6p", resolution="480p", fps=30,
+        pressure="normal", duration_s=6.0, repetitions=2,
+    )
+    assert cell.stats.mean_drop_rate < 0.02
+    assert cell.stats.crash_rate == 0.0
+
+
+def test_client_override():
+    cell = run_cell(
+        device="nexus5", resolution="240p", fps=30,
+        pressure="normal", duration_s=5.0, repetitions=1, client="exoplayer",
+    )
+    assert cell.results[0].client_name == "exoplayer"

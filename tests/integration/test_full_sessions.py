@@ -1,0 +1,151 @@
+"""End-to-end integration tests across the whole stack.
+
+These run complete streaming sessions under pressure and check the
+cross-module invariants DESIGN.md §6 lists, sampled *during* the run,
+not just at the end.
+"""
+
+import pytest
+
+from repro.core import MemoryAwareAbr, StreamingSession
+from repro.core.session import DEVICE_FACTORIES
+from repro.kernel.pressure import MemoryPressureLevel
+from repro.sched.states import ThreadState
+from repro.sim import seconds
+from repro.video.encoding import GENRES, VideoAsset, default_video
+
+
+def run_with_invariant_checks(device_name, pressure, resolution="480p",
+                              fps=60, duration=15.0, seed=71):
+    device = DEVICE_FACTORIES[device_name](seed=seed)
+    session = StreamingSession(
+        device=device,
+        asset=default_video(duration_s=duration),
+        resolution=resolution,
+        frame_rate=fps,
+        pressure=pressure,
+        duration_s=duration,
+    )
+
+    def check() -> None:
+        device.memory.check_consistency()
+        # One running thread per core, at most.
+        running = [
+            t for t in device.scheduler.threads
+            if t.state is ThreadState.RUNNING
+        ]
+        occupied = [c for c in device.scheduler.cores if c.current is not None]
+        assert len(running) == len(occupied)
+        for core in occupied:
+            assert core.current.state is ThreadState.RUNNING
+        device.sim.schedule(seconds(0.5), check)
+
+    device.sim.schedule(seconds(0.5), check)
+    result = session.run()
+    device.memory.check_consistency()
+    return device, result
+
+
+@pytest.mark.parametrize("pressure", ["normal", "moderate", "critical"])
+def test_invariants_hold_through_session_nokia1(pressure):
+    device, result = run_with_invariant_checks("nokia1", pressure)
+    # Sessions terminate: either completed or crashed.
+    assert result.crashed or result.frames_processed > 0
+
+
+def test_invariants_hold_on_nexus5_moderate():
+    run_with_invariant_checks("nexus5", "moderate", resolution="1080p")
+
+
+def test_frame_accounting_exact_under_pressure():
+    device, result = run_with_invariant_checks("nokia1", "moderate",
+                                               resolution="720p", fps=30)
+    dropped = (
+        result.dropped_decode_late
+        + result.dropped_render_late
+        + result.dropped_skipped
+    )
+    assert result.frames_rendered + dropped == result.frames_processed
+
+
+def test_pressure_ordering_of_drop_rates():
+    """More pressure never *improves* effective QoE (rendered share)."""
+    shares = {}
+    for pressure in ("normal", "critical"):
+        _, result = run_with_invariant_checks(
+            "nokia1", pressure, resolution="720p", fps=60, seed=73
+        )
+        due = result.duration_s * result.fps
+        shares[pressure] = result.frames_rendered / due
+    assert shares["critical"] <= shares["normal"]
+
+
+def test_signal_levels_match_lru_thresholds():
+    """Whenever a signal fires, the cached-process count is at or below
+    the level's threshold (per-device thresholds, §2 footnote 6)."""
+    device = DEVICE_FACTORIES["nokia1"](seed=75)
+    thresholds = device.profile.pressure_thresholds
+    observed = []
+
+    def on_signal(level, time):
+        observed.append((level, device.memory.table.cached_count))
+
+    device.memory.monitor.subscribe(on_signal)
+    session = StreamingSession(
+        device=device, asset=default_video(duration_s=12.0),
+        resolution="480p", frame_rate=60, pressure="critical",
+        duration_s=12.0,
+    )
+    session.run()
+    assert observed
+    limits = {
+        MemoryPressureLevel.MODERATE: thresholds.moderate,
+        MemoryPressureLevel.LOW: thresholds.low,
+        MemoryPressureLevel.CRITICAL: thresholds.critical,
+    }
+    for level, count in observed:
+        assert count <= limits[level], (level, count)
+
+
+def test_crash_releases_all_client_memory():
+    device = DEVICE_FACTORIES["nokia1"](seed=77)
+    session = StreamingSession(
+        device=device, asset=default_video(duration_s=20.0),
+        resolution="1080p", frame_rate=60, pressure="critical",
+        duration_s=20.0,
+    )
+    result = session.run()
+    if result.crashed:
+        assert session.player.process.pss_pages == 0
+        assert all(t.dead for t in session.player.process.threads)
+    device.memory.check_consistency()
+
+
+def test_memory_aware_abr_full_stack():
+    asset = VideoAsset("t", GENRES["travel"], 20.0, frame_rates=(24, 48, 60))
+    session = StreamingSession(
+        device="nokia1", asset=asset, resolution="720p", frame_rate=60,
+        pressure="moderate", duration_s=20.0, seed=79, abr=MemoryAwareAbr(),
+    )
+    result = session.run()
+    # The controller reacted to signals with at least one switch.
+    assert result.switch_log
+    # And future fetches honour the cap.
+    final_fps = result.switch_log[-1][2]
+    assert final_fps <= 48
+
+
+def test_deterministic_replay():
+    """Identical seeds produce identical sessions (bit-exact stats)."""
+
+    def run():
+        return StreamingSession(
+            device="nokia1", resolution="480p", frame_rate=60,
+            pressure="moderate", duration_s=10.0, seed=81,
+        ).run()
+
+    a, b = run(), run()
+    assert a.frames_rendered == b.frames_rendered
+    assert a.frames_processed == b.frames_processed
+    assert a.crashed == b.crashed
+    assert a.pss_series == b.pss_series

@@ -1,0 +1,67 @@
+"""Stateful property test: random operation sequences against the
+memory manager never corrupt the books.
+
+A hypothesis-driven interpreter replays arbitrary interleavings of the
+operations real components perform — allocations (both kinds), frees,
+working-set touches, kills, and time advancement — and checks the
+global accounting invariant plus the per-process reconciliation after
+every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import Device
+from repro.device.profiles import generic_profile
+from repro.kernel import OomAdj
+from repro.sched import SchedClass
+from repro.sim import millis
+
+
+operation = st.one_of(
+    st.tuples(st.just("alloc_anon"), st.integers(0, 4), st.integers(1, 4000),
+              st.floats(0.0, 1.0)),
+    st.tuples(st.just("alloc_file"), st.integers(0, 4), st.integers(1, 4000),
+              st.floats(0.0, 1.0)),
+    st.tuples(st.just("release"), st.integers(0, 4), st.integers(1, 4000),
+              st.sampled_from(["anon", "file"])),
+    st.tuples(st.just("touch"), st.integers(0, 4), st.integers(1, 2000),
+              st.none()),
+    st.tuples(st.just("kill"), st.integers(0, 4), st.just(0), st.none()),
+    st.tuples(st.just("advance"), st.just(0), st.integers(1, 500), st.none()),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(operation, min_size=5, max_size=50))
+def test_random_operation_sequences_preserve_invariants(ops):
+    device = Device(generic_profile("fuzz", ram_mb=512, n_cores=2), seed=5)
+    device.boot()
+    manager = device.memory
+    processes = []
+    for i in range(5):
+        proc = manager.spawn_process(f"fuzz{i}", OomAdj.FOREGROUND + i * 100)
+        thread = manager.spawn_thread(proc, f"fuzz{i}.t", SchedClass.FOREGROUND)
+        processes.append((proc, thread))
+
+    for op, index, amount, extra in ops:
+        proc, thread = processes[index % len(processes)]
+        if op == "alloc_anon" and proc.alive:
+            manager.request_pages(proc, thread, amount, kind="anon",
+                                  hot_fraction=extra)
+        elif op == "alloc_file" and proc.alive:
+            manager.request_pages(proc, thread, amount, kind="file",
+                                  hot_fraction=extra)
+        elif op == "release" and proc.alive:
+            manager.release_pages(proc, amount, kind=extra)
+        elif op == "touch" and proc.alive:
+            manager.touch(proc, thread, amount)
+        elif op == "kill":
+            manager.kill_process(proc, "lmkd")
+        elif op == "advance":
+            device.run(until=device.sim.now + millis(amount))
+        manager.check_consistency()
+
+    # Drain everything in flight, then re-verify.
+    device.run(until=device.sim.now + millis(2000))
+    manager.check_consistency()

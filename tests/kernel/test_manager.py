@@ -1,0 +1,208 @@
+"""Integration-level tests for the memory manager on a booted device."""
+
+import pytest
+
+from repro.device import Device, nokia1
+from repro.device.profiles import generic_profile
+from repro.kernel import OomAdj, mb_to_pages
+from repro.sched import SchedClass
+from repro.sim import millis, seconds
+
+
+@pytest.fixture
+def device():
+    return nokia1(seed=3)
+
+
+def spawn_app(device, name="app", adj=OomAdj.FOREGROUND):
+    proc = device.memory.spawn_process(name, adj)
+    thread = device.memory.spawn_thread(proc, f"{name}.main", SchedClass.FOREGROUND)
+    return proc, thread
+
+
+def test_boot_populates_processes(device):
+    names = [p.name for p in device.memory.table.processes]
+    assert "system_server" in names
+    assert device.memory.table.cached_count == device.profile.cached_app_count
+    device.memory.check_consistency()
+
+
+def test_fast_path_allocation_synchronous(device):
+    proc, thread = spawn_app(device)
+    granted = device.memory.request_pages(proc, thread, mb_to_pages(20))
+    assert granted
+    assert proc.pss_mb == pytest.approx(20, abs=0.1)
+    device.memory.check_consistency()
+
+
+def test_release_pages_returns_memory(device):
+    proc, thread = spawn_app(device)
+    device.memory.request_pages(proc, thread, 1000, kind="anon")
+    free_before = device.memory.state.free
+    released = device.memory.release_pages(proc, 600, kind="anon")
+    assert released == 600
+    assert device.memory.state.free == free_before + 600
+    device.memory.check_consistency()
+
+
+def test_release_file_pages(device):
+    proc, thread = spawn_app(device)
+    device.memory.request_pages(proc, thread, 1000, kind="file")
+    released = device.memory.release_pages(proc, 1000, kind="file")
+    assert released == 1000
+    device.memory.check_consistency()
+
+
+def test_kill_process_frees_everything(device):
+    proc, thread = spawn_app(device)
+    device.memory.request_pages(proc, thread, mb_to_pages(50), kind="anon")
+    device.memory.request_pages(proc, thread, mb_to_pages(30), kind="file")
+    free_before = device.memory.state.free
+    reasons = []
+    proc.on_kill.append(reasons.append)
+    device.memory.kill_process(proc, "lmkd")
+    assert not proc.alive
+    assert reasons == ["lmkd"]
+    assert proc.pss_pages == 0
+    assert device.memory.state.free == free_before + mb_to_pages(80)
+    assert thread.dead
+    device.memory.check_consistency()
+
+
+def test_kill_is_idempotent(device):
+    proc, _ = spawn_app(device)
+    device.memory.kill_process(proc, "lmkd")
+    device.memory.kill_process(proc, "lmkd")
+    assert device.memory.vmstat.lmkd_kills == 1
+
+
+def test_allocation_under_pressure_stalls_then_grants(device):
+    """Exhausting free memory forces direct reclaim but the allocation
+    eventually succeeds (reclaim from the cached apps)."""
+    proc, thread = spawn_app(device)
+    target = device.memory.state.free - mb_to_pages(5)
+    granted_at = []
+    device.memory.request_pages(
+        proc, thread, target, hot_fraction=0.2,
+        on_granted=lambda: granted_at.append(device.sim.now),
+    )
+    # A second allocation that cannot fit without reclaim:
+    device.memory.request_pages(
+        proc, thread, mb_to_pages(40), hot_fraction=0.2,
+        on_granted=lambda: granted_at.append(device.sim.now),
+    )
+    device.run(until=seconds(20))
+    assert len(granted_at) == 2
+    assert device.memory.vmstat.allocstall >= 1
+    assert device.memory.vmstat.pgscan > 0
+    device.memory.check_consistency()
+
+
+def test_kswapd_wakes_below_low_watermark(device):
+    proc, thread = spawn_app(device)
+    low = device.memory.state.watermarks.low_pages
+    take = device.memory.state.free - low + 10
+    device.memory.request_pages(proc, thread, take, hot_fraction=0.1)
+    device.run(until=seconds(5))
+    assert device.memory.vmstat.kswapd_wakeups >= 1
+    assert device.memory.vmstat.pgsteal > 0
+    device.memory.check_consistency()
+
+
+def test_sustained_pressure_triggers_lmkd_kills(device):
+    proc, thread = spawn_app(device, adj=OomAdj.PERCEPTIBLE)
+    chunk = mb_to_pages(8)
+
+    def loop():
+        if proc.alive:
+            device.memory.request_pages(
+                proc, thread, chunk, hot_fraction=0.95,
+                on_granted=lambda: device.sim.schedule(millis(40), loop),
+            )
+
+    device.sim.schedule(0, loop)
+    device.run(until=seconds(15))
+    assert device.memory.vmstat.lmkd_kills > 0
+    assert len(device.lmkd.kill_log) == device.memory.vmstat.lmkd_kills
+    device.memory.check_consistency()
+
+
+def test_pressure_signals_reach_subscribers(device):
+    received = []
+    device.memory.monitor.subscribe(lambda level, t: received.append(level))
+    proc, thread = spawn_app(device, adj=OomAdj.PERCEPTIBLE)
+    chunk = mb_to_pages(8)
+
+    def loop():
+        if proc.alive:
+            device.memory.request_pages(
+                proc, thread, chunk, hot_fraction=0.95,
+                on_granted=lambda: device.sim.schedule(millis(40), loop),
+            )
+
+    device.sim.schedule(0, loop)
+    device.run(until=seconds(15))
+    assert received, "expected OnTrimMemory signals under sustained pressure"
+
+
+def test_touch_without_eviction_is_free(device):
+    proc, thread = spawn_app(device)
+    device.memory.request_pages(proc, thread, 1000, hot_fraction=1.0)
+    done = []
+    no_fault = device.memory.touch(proc, thread, 500, on_done=lambda: done.append(1))
+    assert no_fault
+    assert done == [1]
+
+
+def test_touch_after_eviction_causes_refaults(device):
+    """Swap out a process's hot set, then touch it: faults must occur,
+    pages must come back resident, and vmstat must account them."""
+    proc, thread = spawn_app(device)
+    device.memory.request_pages(proc, thread, 2000, kind="anon", hot_fraction=1.0)
+    # Forcibly swap out the whole working set.
+    from repro.kernel.reclaim import build_plan
+
+    plan = build_plan([proc], 2000, allow_hot=True)
+    device.memory.apply_plan(plan)
+    assert proc.pools.swapped_hot == 2000
+
+    done = []
+    immediate = device.memory.touch(proc, thread, 2000, on_done=lambda: done.append(1))
+    assert not immediate
+    device.run(until=seconds(5))
+    assert done == [1]
+    assert device.memory.vmstat.pswpin > 0
+    assert proc.pools.anon_hot > 0
+    device.memory.check_consistency()
+
+
+def test_disk_refault_goes_through_mmcqd(device):
+    proc, thread = spawn_app(device)
+    device.memory.request_pages(proc, thread, 2000, kind="file", hot_fraction=1.0)
+    from repro.kernel.reclaim import build_plan
+
+    plan = build_plan([proc], 2000, allow_hot=True)
+    device.memory.apply_plan(plan)
+    assert proc.pools.evicted_hot > 0
+    reads_before = device.storage.reads
+    device.memory.touch(proc, thread, 2000)
+    device.run(until=seconds(5))
+    assert device.storage.reads > reads_before
+    assert device.memory.vmstat.pgmajfault > 0
+
+
+def test_oom_killer_when_nothing_reclaimable():
+    """A tiny device whose memory is all hot anon: the stall timeout
+    must trigger the OOM killer rather than hang forever."""
+    profile = generic_profile("tiny", ram_mb=512, n_cores=2)
+    device = Device(profile, seed=4).boot()
+    proc = device.memory.spawn_process("greedy", OomAdj.FOREGROUND)
+    thread = device.memory.spawn_thread(proc, "greedy.main", SchedClass.FOREGROUND)
+    granted = []
+    device.memory.request_pages(
+        proc, thread, device.memory.state.free + mb_to_pages(40),
+        hot_fraction=1.0, on_granted=lambda: granted.append(device.sim.now),
+    )
+    device.run(until=seconds(30))
+    assert device.memory.vmstat.oom_kills >= 1 or granted
+    device.memory.check_consistency()

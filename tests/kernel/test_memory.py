@@ -1,0 +1,208 @@
+"""Unit and property tests for global page accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.memory import (
+    MemoryAccountingError,
+    MemoryState,
+    Watermarks,
+    mb_to_pages,
+    pages_to_mb,
+)
+
+
+def make_state(total=262144, reserved=0, ratio=2.5):
+    return MemoryState(total, kernel_reserved=reserved, zram_ratio=ratio)
+
+
+def test_mb_page_conversions():
+    assert mb_to_pages(1) == 256
+    assert mb_to_pages(1024) == 262144
+    assert pages_to_mb(512) == 2.0
+
+
+def test_initial_state_all_free():
+    state = make_state(reserved=1000)
+    assert state.free == 262144 - 1000
+    assert state.anon == 0
+    assert state.cached == 0
+    state.check()
+
+
+def test_alloc_anon_moves_pages():
+    state = make_state()
+    state.alloc_anon(100)
+    assert state.anon == 100
+    assert state.free == 262144 - 100
+    state.check()
+
+
+def test_alloc_file_clean_and_dirty():
+    state = make_state()
+    state.alloc_file(60)
+    state.alloc_file(40, dirty=True)
+    assert state.file_clean == 60
+    assert state.file_dirty == 40
+    assert state.cached == 100
+    state.check()
+
+
+def test_overcommit_rejected():
+    state = make_state(total=100)
+    with pytest.raises(MemoryAccountingError):
+        state.alloc_anon(101)
+
+
+def test_negative_alloc_rejected():
+    state = make_state()
+    with pytest.raises(MemoryAccountingError):
+        state.alloc_anon(-5)
+
+
+def test_swap_out_nets_compression_gain():
+    state = make_state(ratio=2.5)
+    state.alloc_anon(1000)
+    freed = state.swap_out(1000)
+    assert state.anon == 0
+    assert state.zram_stored == 1000
+    assert state.zram_used == 400  # ceil(1000 / 2.5)
+    assert freed == 600
+    state.check()
+
+
+def test_swap_in_restores_pages():
+    state = make_state(ratio=2.5)
+    state.alloc_anon(1000)
+    state.swap_out(1000)
+    state.swap_in(500)
+    assert state.anon == 500
+    assert state.zram_stored == 500
+    state.check()
+
+
+def test_swap_in_requires_free_memory():
+    state = MemoryState(1000, zram_ratio=2.0, zram_disksize_fraction=1.0)
+    state.alloc_anon(990)
+    state.swap_out(990)  # frees ~495
+    state.alloc_anon(state.free)  # exhaust free memory
+    with pytest.raises(MemoryAccountingError):
+        state.swap_in(990)
+    state.check()  # rollback left the books intact
+
+
+def test_swap_out_bounded_by_zram_disksize():
+    state = MemoryState(1000, zram_ratio=2.0, zram_disksize_fraction=0.1)
+    state.alloc_anon(500)
+    assert state.zram_capacity_left == 100
+    with pytest.raises(MemoryAccountingError):
+        state.swap_out(101)
+    state.swap_out(100)
+    assert state.zram_capacity_left == 0
+    state.check()
+
+
+def test_writeback_pool_lifecycle():
+    state = make_state()
+    state.alloc_file(100, dirty=True)
+    state.start_writeback(60)
+    assert state.file_writeback == 60
+    assert state.file_dirty == 40
+    state.check()
+    state.complete_writeback(60)
+    assert state.file_writeback == 0
+    assert state.free == 262144 - 40
+    state.check()
+    with pytest.raises(MemoryAccountingError):
+        state.complete_writeback(1)
+
+
+def test_writeback_then_drop():
+    state = make_state()
+    state.alloc_file(50, dirty=True)
+    state.writeback(50)
+    assert state.file_clean == 50
+    state.drop_clean(50)
+    assert state.free == 262144
+    state.check()
+
+
+def test_discard_zram_frees_pool():
+    state = make_state(ratio=2.5)
+    state.alloc_anon(500)
+    state.swap_out(500)
+    state.discard_zram(500)
+    assert state.zram_stored == 0
+    assert state.free == 262144
+    state.check()
+
+
+def test_available_and_utilization():
+    state = make_state(total=1000)
+    state.alloc_anon(400)
+    state.alloc_file(100)
+    assert state.available == 600  # 500 free + 100 cached
+    assert state.used_fraction == pytest.approx(0.4)
+
+
+def test_watermarks_resolved_from_fractions():
+    state = MemoryState(100000, watermarks=Watermarks(0.01, 0.02, 0.03))
+    assert state.watermarks.min_pages == 1000
+    assert state.watermarks.low_pages == 2000
+    assert state.watermarks.high_pages == 3000
+    assert not state.below_low
+    state.alloc_anon(100000 - 1999)
+    assert state.below_low
+    assert not state.below_min
+    state.alloc_anon(1500)
+    assert state.below_min
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        MemoryState(0)
+    with pytest.raises(ValueError):
+        MemoryState(100, zram_ratio=1.0)
+    with pytest.raises(ValueError):
+        MemoryState(100, kernel_reserved=100)
+
+
+@settings(max_examples=200)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(
+                ["alloc_anon", "alloc_file", "free_anon", "swap_out", "swap_in",
+                 "drop_clean", "writeback", "discard_zram"]
+            ),
+            st.integers(min_value=1, max_value=5000),
+        ),
+        max_size=60,
+    )
+)
+def test_invariant_holds_under_random_operations(ops):
+    """The page-accounting invariant survives any legal op sequence;
+    illegal ops raise without corrupting the books."""
+    state = make_state(total=50000, reserved=500)
+    for op, n in ops:
+        try:
+            if op == "alloc_anon":
+                state.alloc_anon(n)
+            elif op == "alloc_file":
+                state.alloc_file(n, dirty=n % 2 == 0)
+            elif op == "free_anon":
+                state.free_anon(n)
+            elif op == "swap_out":
+                state.swap_out(n)
+            elif op == "swap_in":
+                state.swap_in(n)
+            elif op == "drop_clean":
+                state.drop_clean(n)
+            elif op == "writeback":
+                state.writeback(n)
+            elif op == "discard_zram":
+                state.discard_zram(n)
+        except MemoryAccountingError:
+            pass
+        state.check()

@@ -1,0 +1,66 @@
+"""Unit tests for the mmcqd I/O queue daemon."""
+
+from repro.device.storage import StorageDevice, StorageProfile
+from repro.kernel.mmcqd import Mmcqd
+from repro.sched import SchedClass, Scheduler, ThreadState, make_cores
+from repro.sim import Simulator, millis
+
+
+def make_mmcqd(n_cores=1):
+    sim = Simulator(seed=2)
+    sched = Scheduler(sim, make_cores([1.0] * n_cores))
+    storage = StorageDevice(StorageProfile(jitter_sigma=0.0), sim.random)
+    return sim, sched, Mmcqd(sim, sched, storage)
+
+
+def test_read_completes_with_callback():
+    sim, sched, mmcqd = make_mmcqd()
+    done = []
+    mmcqd.submit_read(8, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert len(done) == 1
+    assert done[0] > 0
+    assert mmcqd.completed_requests == 1
+
+
+def test_requests_serviced_fifo():
+    sim, sched, mmcqd = make_mmcqd()
+    order = []
+    mmcqd.submit_read(4, on_complete=lambda: order.append("a"))
+    mmcqd.submit_write(4, on_complete=lambda: order.append("b"))
+    mmcqd.submit_read(4, on_complete=lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_mmcqd_preempts_foreground_thread():
+    sim, sched, mmcqd = make_mmcqd()
+    fg = sched.spawn("video", SchedClass.FOREGROUND)
+    fg.post(millis(50) * 1.0)
+    sim.schedule(millis(5), mmcqd.submit_read, 64)
+    sim.run()
+    assert fg.preemptions_suffered >= 1
+    assert fg.time_in(ThreadState.RUNNABLE_PREEMPTED) > 0
+    assert mmcqd.thread.time_in(ThreadState.RUNNING) > 0
+
+
+def test_larger_requests_cost_more_cpu():
+    sim1, _, mmcqd1 = make_mmcqd()
+    mmcqd1.submit_read(1)
+    sim1.run()
+    small = mmcqd1.thread.time_in(ThreadState.RUNNING)
+
+    sim2, _, mmcqd2 = make_mmcqd()
+    mmcqd2.submit_read(256)
+    sim2.run()
+    big = mmcqd2.thread.time_in(ThreadState.RUNNING)
+    assert big > small
+
+
+def test_queue_depth_reporting():
+    sim, sched, mmcqd = make_mmcqd()
+    mmcqd.submit_read(4)
+    mmcqd.submit_read(4)
+    assert mmcqd.queue_depth == 2
+    sim.run()
+    assert mmcqd.queue_depth == 0

@@ -1,0 +1,98 @@
+"""Unit tests for pressure levels and the OnTrimMemory monitor."""
+
+from repro.kernel.pressure import (
+    MemoryPressureLevel,
+    PressureMonitor,
+    PressureThresholds,
+)
+from repro.kernel.process import MemProcess, ProcessTable
+from repro.sim import Simulator, seconds
+
+
+def make_monitor(n_cached=8, thresholds=None):
+    sim = Simulator(seed=0)
+    table = ProcessTable()
+    cached = [table.add(MemProcess(f"c{i}", 900 + i)) for i in range(n_cached)]
+    monitor = PressureMonitor(sim, table, thresholds or PressureThresholds())
+    return sim, table, cached, monitor
+
+
+def test_classify_thresholds():
+    thresholds = PressureThresholds(moderate=6, low=5, critical=3)
+    assert thresholds.classify(10) is MemoryPressureLevel.NORMAL
+    assert thresholds.classify(7) is MemoryPressureLevel.NORMAL
+    assert thresholds.classify(6) is MemoryPressureLevel.MODERATE
+    assert thresholds.classify(5) is MemoryPressureLevel.LOW
+    assert thresholds.classify(4) is MemoryPressureLevel.LOW
+    assert thresholds.classify(3) is MemoryPressureLevel.CRITICAL
+    assert thresholds.classify(0) is MemoryPressureLevel.CRITICAL
+
+
+def test_level_ordering():
+    assert MemoryPressureLevel.NORMAL < MemoryPressureLevel.MODERATE
+    assert MemoryPressureLevel.MODERATE < MemoryPressureLevel.LOW
+    assert MemoryPressureLevel.LOW < MemoryPressureLevel.CRITICAL
+    assert MemoryPressureLevel.CRITICAL.label == "Critical"
+
+
+def test_normal_without_kswapd_activity():
+    sim, table, cached, monitor = make_monitor(n_cached=2)
+    # Few cached processes but kswapd has never run: still Normal.
+    monitor.update()
+    assert monitor.level is MemoryPressureLevel.NORMAL
+
+
+def test_signal_emitted_on_escalation():
+    sim, table, cached, monitor = make_monitor(n_cached=6)
+    received = []
+    monitor.subscribe(lambda level, time: received.append((level, time)))
+    monitor.note_kswapd_activity()
+    assert monitor.level is MemoryPressureLevel.MODERATE
+    assert received == [(MemoryPressureLevel.MODERATE, 0)]
+
+
+def test_escalation_with_kills():
+    sim, table, cached, monitor = make_monitor(n_cached=6)
+    monitor.note_kswapd_activity()
+    assert monitor.level is MemoryPressureLevel.MODERATE
+    cached[0].alive = False
+    monitor.update()
+    assert monitor.level is MemoryPressureLevel.LOW
+    cached[1].alive = False
+    cached[2].alive = False
+    monitor.update()
+    assert monitor.level is MemoryPressureLevel.CRITICAL
+
+
+def test_decay_to_normal_after_inactivity():
+    sim, table, cached, monitor = make_monitor(n_cached=5)
+    monitor.note_kswapd_activity()
+    assert monitor.level is MemoryPressureLevel.LOW
+    sim.run(until=seconds(5))  # polling continues, kswapd quiet
+    assert monitor.level is MemoryPressureLevel.NORMAL
+
+
+def test_reemission_while_elevated():
+    sim, table, cached, monitor = make_monitor(n_cached=6)
+    received = []
+    monitor.subscribe(lambda level, time: received.append(level))
+
+    def keep_active():
+        monitor.note_kswapd_activity()
+        sim.schedule(seconds(0.5), keep_active)
+
+    sim.schedule(0, keep_active)
+    sim.run(until=seconds(10))
+    # One signal on entry plus one roughly every REEMIT_INTERVAL (2 s).
+    assert len(received) >= 5
+    assert all(level is MemoryPressureLevel.MODERATE for level in received)
+
+
+def test_time_in_levels_partitions_horizon():
+    sim, table, cached, monitor = make_monitor(n_cached=6)
+    monitor.note_kswapd_activity()
+    sim.run(until=seconds(10))
+    totals = monitor.time_in_levels(sim.now)
+    assert sum(totals.values()) == sim.now
+    assert totals[MemoryPressureLevel.MODERATE] > 0
+    assert totals[MemoryPressureLevel.NORMAL] > 0

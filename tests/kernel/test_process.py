@@ -1,0 +1,87 @@
+"""Unit tests for the process model and LRU table."""
+
+import pytest
+
+from repro.kernel.process import MemProcess, OomAdj, ProcessTable
+
+
+def test_oom_adj_range_validated():
+    with pytest.raises(ValueError):
+        MemProcess("bad", 2000)
+    with pytest.raises(ValueError):
+        MemProcess("bad", -2000)
+
+
+def test_dirty_fraction_validated():
+    with pytest.raises(ValueError):
+        MemProcess("bad", 0, dirty_fraction=1.5)
+
+
+def test_cached_classification():
+    assert MemProcess("bg", OomAdj.CACHED_MIN).is_cached
+    assert MemProcess("bg", 950).is_cached
+    assert not MemProcess("fg", OomAdj.FOREGROUND).is_cached
+    assert not MemProcess("svc", OomAdj.SERVICE).is_cached
+    dead = MemProcess("dead", 950)
+    dead.alive = False
+    assert not dead.is_cached
+
+
+def test_pool_aggregates():
+    proc = MemProcess("p", 0)
+    pools = proc.pools
+    pools.file_hot, pools.file_cold = 10, 20
+    pools.anon_hot, pools.anon_cold = 30, 40
+    pools.swapped_hot, pools.evicted_hot = 5, 7
+    assert pools.resident == 100
+    assert pools.resident_file == 30
+    assert pools.resident_anon == 70
+    assert pools.hot_total == 10 + 30 + 5 + 7
+    assert pools.hot_missing == 12
+
+
+def test_pss_includes_zram_share():
+    proc = MemProcess("p", 0)
+    proc.pools.anon_hot = 256
+    proc.pools.swapped_hot = 250
+    assert proc.pss_pages == 256 + 100  # 250 / 2.5
+    assert proc.pss_mb == pytest.approx((256 + 100) / 256)
+
+
+def test_cached_count_tracks_lru():
+    table = ProcessTable()
+    table.add(MemProcess("fg", OomAdj.FOREGROUND))
+    cached = [table.add(MemProcess(f"c{i}", 900 + i)) for i in range(4)]
+    assert table.cached_count == 4
+    cached[0].alive = False
+    assert table.cached_count == 3
+
+
+def test_kill_candidates_ordering():
+    table = ProcessTable()
+    fg = table.add(MemProcess("fg", OomAdj.FOREGROUND))
+    svc = table.add(MemProcess("svc", OomAdj.SERVICE))
+    small = table.add(MemProcess("small", 920))
+    big = table.add(MemProcess("big", 920))
+    big.pools.anon_hot = 1000
+
+    order = table.kill_candidates(OomAdj.CACHED_MIN)
+    assert order == [big, small]
+
+    order = table.kill_candidates(OomAdj.FOREGROUND)
+    assert order[0] is big and order[-1] is fg
+    assert svc in order
+
+
+def test_kill_candidates_excludes_dead():
+    table = ProcessTable()
+    victim = table.add(MemProcess("v", 950))
+    victim.alive = False
+    assert table.kill_candidates(0) == []
+
+
+def test_find_by_name():
+    table = ProcessTable()
+    proc = table.add(MemProcess("target", 0))
+    assert table.find("target") is proc
+    assert table.find("missing") is None

@@ -1,0 +1,114 @@
+"""Unit tests for reclaim victim selection."""
+
+from repro.kernel.process import MemProcess, OomAdj
+from repro.kernel.reclaim import (
+    HOT_MIX_FRACTION,
+    HOT_RECLAIM_EFFICIENCY,
+    ReclaimPlan,
+    build_plan,
+    hot_efficiency,
+)
+
+
+def proc_with(name, adj, file_hot=0, file_cold=0, anon_hot=0, anon_cold=0):
+    proc = MemProcess(name, adj)
+    proc.pools.file_hot = file_hot
+    proc.pools.file_cold = file_cold
+    proc.pools.anon_hot = anon_hot
+    proc.pools.anon_cold = anon_cold
+    return proc
+
+
+def taken_from(plan, proc):
+    return sum(
+        n for p, _, n in plan.file_taken + plan.anon_taken if p is proc
+    )
+
+
+def test_empty_plan_for_no_processes():
+    plan = build_plan([], 100)
+    assert plan.empty
+    assert plan.scanned == 0
+
+
+def test_cold_pages_dominate_when_plentiful():
+    proc = proc_with("p", 0, file_hot=5000, file_cold=5000, anon_cold=5000)
+    plan = build_plan([proc], 1000)
+    cold = sum(n for _, from_hot, n in plan.file_taken + plan.anon_taken
+               if not from_hot)
+    hot = sum(n for _, from_hot, n in plan.file_taken + plan.anon_taken
+              if from_hot)
+    assert cold >= 1000 * (1 - HOT_MIX_FRACTION) - 2
+    # LRU imprecision: a bounded share comes from hot pools anyway.
+    assert hot <= 1000 * HOT_MIX_FRACTION + 2
+
+
+def test_proportional_across_processes():
+    big = proc_with("big", 900, file_cold=9000)
+    small = proc_with("small", 900, file_cold=1000)
+    plan = build_plan([big, small], 1000, allow_hot=False)
+    assert taken_from(plan, big) > taken_from(plan, small) * 4
+
+
+def test_hot_file_taken_before_hot_anon():
+    proc = proc_with("p", 0, file_hot=10_000, anon_hot=10_000)
+    plan = build_plan([proc], 1000)
+    file_hot = sum(n for _, from_hot, n in plan.file_taken if from_hot)
+    anon_hot = sum(n for _, from_hot, n in plan.anon_taken if from_hot)
+    assert file_hot >= anon_hot
+
+
+def test_hot_pages_scanned_inefficiently():
+    proc = proc_with("p", 0, anon_hot=300)
+    plan = build_plan([proc], 300, efficiency=0.30)
+    assert plan.anon_pages == 300
+    assert plan.scanned >= round(300 / 0.30) - 3
+
+
+def test_allow_hot_false_stops_at_cold():
+    proc = proc_with("p", 0, file_cold=50, anon_hot=500)
+    plan = build_plan([proc], 300, allow_hot=False)
+    assert plan.selected == 50
+    assert all(not from_hot for _, from_hot, _ in plan.anon_taken)
+
+
+def test_protected_process_hot_pages_skipped():
+    victim = proc_with("victim", 0, anon_hot=500)
+    other = proc_with("other", 0, anon_hot=500)
+    plan = build_plan([victim, other], 400, protect=(victim,))
+    assert all(
+        proc is other for proc, from_hot, _ in plan.anon_taken if from_hot
+    )
+
+
+def test_dead_processes_not_scanned():
+    proc = proc_with("dead", 950, file_cold=1000)
+    proc.alive = False
+    plan = build_plan([proc], 100)
+    assert plan.empty
+
+
+def test_cpu_cost_scales_with_compression():
+    cheap = build_plan([proc_with("a", 0, file_cold=1000)], 1000, allow_hot=False)
+    pricey = build_plan([proc_with("b", 0, anon_cold=1000)], 1000, allow_hot=False)
+    assert pricey.cpu_cost_us > cheap.cpu_cost_us
+
+
+def test_hot_efficiency_scales_with_headroom():
+    full = hot_efficiency(free=10_000, min_pages=1_000, high_pages=10_000)
+    scarce = hot_efficiency(free=1_000, min_pages=1_000, high_pages=10_000)
+    midway = hot_efficiency(free=5_500, min_pages=1_000, high_pages=10_000)
+    assert full == HOT_RECLAIM_EFFICIENCY
+    assert scarce < midway < full
+    assert scarce > 0
+
+
+def test_plan_aggregates():
+    plan = ReclaimPlan()
+    proc = proc_with("p", 0)
+    plan.file_taken.append((proc, False, 30))
+    plan.anon_taken.append((proc, True, 20))
+    assert plan.file_pages == 30
+    assert plan.anon_pages == 20
+    assert plan.selected == 50
+    assert not plan.empty

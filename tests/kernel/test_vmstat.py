@@ -1,0 +1,46 @@
+"""Unit tests for vmstat counters and the lmkd pressure metric."""
+
+from repro.kernel.vmstat import VmStat
+from repro.sim import seconds
+
+
+def test_pressure_zero_without_scans():
+    stat = VmStat()
+    assert stat.pressure(seconds(10)) == 0.0
+
+
+def test_pressure_formula():
+    stat = VmStat()
+    stat.record_scan(seconds(1), scanned=100, reclaimed=40)
+    assert stat.pressure(seconds(1.5)) == 60.0
+
+
+def test_pressure_window_expires_old_entries():
+    stat = VmStat()
+    stat.record_scan(seconds(1), scanned=100, reclaimed=0)   # P=100 burst
+    stat.record_scan(seconds(3), scanned=100, reclaimed=100)  # fully reclaimed
+    # At t=3.5 only the second batch is inside the 1-second window.
+    assert stat.pressure(seconds(3.5)) == 0.0
+
+
+def test_pressure_aggregates_within_window():
+    stat = VmStat()
+    stat.record_scan(seconds(1.0), scanned=100, reclaimed=100)
+    stat.record_scan(seconds(1.5), scanned=100, reclaimed=0)
+    assert stat.pressure(seconds(1.8)) == 50.0
+
+
+def test_pressure_clamps_reclaimed_over_scanned():
+    stat = VmStat()
+    # Writeback completions report reclaimed pages with zero scans.
+    stat.record_scan(seconds(1), scanned=10, reclaimed=0)
+    stat.record_scan(seconds(1.2), scanned=0, reclaimed=50)
+    assert stat.pressure(seconds(1.5)) == 0.0
+
+
+def test_counters_accumulate():
+    stat = VmStat()
+    stat.record_scan(0, 10, 5)
+    stat.record_scan(1, 10, 5)
+    assert stat.pgscan == 20
+    assert stat.pgsteal == 10

@@ -1,0 +1,98 @@
+"""Tests for CPU affinity (the §7 daemon-placement extension)."""
+
+from repro.sched import SchedClass, Scheduler, ThreadState, make_cores
+from repro.sim import Simulator, millis
+
+
+def make_sched(n_cores=2):
+    sim = Simulator(seed=6)
+    sched = Scheduler(sim, make_cores([1.0] * n_cores))
+    return sim, sched
+
+
+def test_pinned_thread_only_runs_on_allowed_core():
+    sim, sched = make_sched(n_cores=3)
+    pinned = sched.spawn("pinned")
+    pinned.pin_to({2})
+    cores_used = []
+    sim.on("sched.switch", lambda time, thread, core: cores_used.append(
+        (thread.name, core)))
+    for _ in range(4):
+        pinned.post(millis(1) * 1.0)
+    sim.run()
+    assert cores_used
+    assert all(core == 2 for name, core in cores_used if name == "pinned")
+
+
+def test_pinned_thread_waits_for_its_core():
+    sim, sched = make_sched(n_cores=2)
+    hog = sched.spawn("hog")
+    hog.pin_to({0})
+    pinned = sched.spawn("pinned")
+    pinned.pin_to({0})
+    hog.post(millis(5) * 1.0)
+    sim.schedule(millis(1), pinned.post, millis(1) * 1.0)
+    sim.run()
+    # Core 1 stayed free the whole time, but the pinned thread waited.
+    waited = pinned.time_in(ThreadState.RUNNABLE) + pinned.time_in(
+        ThreadState.RUNNABLE_PREEMPTED
+    )
+    assert waited > 0
+    assert pinned.migrations == 0
+
+
+def test_affinity_blocked_head_does_not_block_others():
+    sim, sched = make_sched(n_cores=2)
+    hog = sched.spawn("hog")
+    hog.pin_to({0})
+    blocked = sched.spawn("blocked")
+    blocked.pin_to({0})
+    free_runner = sched.spawn("free")
+    hog.post(millis(10) * 1.0)
+    # blocked queues behind hog on core 0; free must still use core 1.
+    sim.schedule(millis(1), blocked.post, millis(1) * 1.0)
+    sim.schedule(millis(2), free_runner.post, millis(1) * 1.0)
+    sim.run()
+    assert free_runner.time_in(ThreadState.RUNNING) == millis(1)
+    # free ran during hog's slice, i.e. before 10 ms.
+    assert sim.now >= millis(11)
+
+
+def test_io_class_respects_affinity_for_preemption():
+    sim, sched = make_sched(n_cores=2)
+    victim0 = sched.spawn("v0")
+    victim1 = sched.spawn("v1")
+    io = sched.spawn("io", SchedClass.IO)
+    io.pin_to({1})
+    victim0.post(millis(10) * 1.0)
+    victim1.post(millis(10) * 1.0)
+    sim.schedule(millis(2), io.post, millis(1) * 1.0)
+    sim.run()
+    # Only the thread on core 1 can have been preempted by io.
+    assert io.last_core == 1
+    total_preempts = victim0.preemptions_suffered + victim1.preemptions_suffered
+    assert total_preempts == 1
+
+
+def test_pinned_kswapd_never_migrates():
+    from repro.device import Device
+    from repro.device.profiles import nokia1_profile
+    from repro.kernel import OomAdj, mb_to_pages
+    from repro.sim import seconds
+
+    device = Device(nokia1_profile(), seed=8, pin_kswapd=True).boot()
+    proc = device.memory.spawn_process("hog", OomAdj.PERCEPTIBLE)
+    thread = device.memory.spawn_thread(proc, "hog.main", SchedClass.FOREGROUND)
+    chunk = mb_to_pages(8)
+
+    def loop():
+        if proc.alive:
+            device.memory.request_pages(
+                proc, thread, chunk, hot_fraction=0.9,
+                on_granted=lambda: device.sim.schedule(millis(60), loop),
+            )
+
+    device.sim.schedule(0, loop)
+    device.run(until=seconds(10))
+    assert device.kswapd.thread.time_in(ThreadState.RUNNING) > 0
+    assert device.kswapd.thread.migrations == 0

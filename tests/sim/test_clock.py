@@ -1,0 +1,41 @@
+"""Unit tests for simulated-time conversions."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import clock
+
+
+def test_seconds_to_ticks():
+    assert clock.seconds(1) == 1_000_000
+    assert clock.seconds(0.5) == 500_000
+    assert clock.seconds(0) == 0
+
+
+def test_millis_to_ticks():
+    assert clock.millis(1) == 1_000
+    assert clock.millis(16.6667) == 16_667
+
+
+def test_micros_identity():
+    assert clock.micros(42) == 42
+    assert clock.micros(41.6) == 42
+
+
+def test_roundtrip_seconds():
+    assert clock.to_seconds(clock.seconds(123.25)) == 123.25
+
+
+def test_roundtrip_millis():
+    assert clock.to_millis(clock.millis(4)) == 4.0
+
+
+@given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_seconds_roundtrip_within_tick(value):
+    ticks = clock.seconds(value)
+    assert abs(clock.to_seconds(ticks) - value) <= 1 / clock.TICKS_PER_SECOND
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_tick_conversions_consistent(ticks):
+    assert clock.seconds(clock.to_seconds(ticks)) == ticks

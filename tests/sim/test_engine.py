@@ -1,0 +1,98 @@
+"""Unit tests for the discrete-event simulator engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_schedule_and_run_in_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(20, fired.append, "b")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(30, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_run_until_horizon_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(100, fired.append, "late")
+    sim.run(until=50)
+    assert fired == ["early"]
+    assert sim.now == 50
+    sim.run(until=150)
+    assert fired == ["early", "late"]
+    assert sim.now == 150
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(5, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 15
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, 1)
+    sim.schedule(2, sim.stop)
+    sim.schedule(3, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending_events == 1
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(5, fired.append, "x")
+    sim.cancel(event)
+    sim.cancel(event)  # idempotent
+    sim.cancel(None)  # accepted
+    sim.run()
+    assert fired == []
+
+
+def test_hooks_receive_time_and_payload():
+    sim = Simulator()
+    seen = []
+    sim.on("topic", lambda time, value: seen.append((time, value)))
+    sim.schedule(7, lambda: sim.emit("topic", value=42))
+    sim.run()
+    assert seen == [(7, 42)]
+
+
+def test_pending_events_counts_live_only():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    event = sim.schedule(2, lambda: None)
+    assert sim.pending_events == 2
+    sim.cancel(event)
+    assert sim.pending_events == 1

@@ -1,0 +1,61 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import EventQueue
+
+
+def noop():
+    pass
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    queue.push(30, noop)
+    queue.push(10, noop)
+    queue.push(20, noop)
+    times = [queue.pop().time for _ in range(3)]
+    assert times == [10, 20, 30]
+
+
+def test_fifo_within_same_time():
+    queue = EventQueue()
+    first = queue.push(5, noop, label="first")
+    second = queue.push(5, noop, label="second")
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_pop_empty_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    keep = queue.push(1, noop)
+    drop = queue.push(2, noop)
+    drop.cancel()
+    queue.note_cancelled()
+    last = queue.push(3, noop)
+    assert queue.pop() is keep
+    assert queue.pop() is last
+    assert queue.pop() is None
+
+
+def test_len_tracks_live_events():
+    queue = EventQueue()
+    queue.push(1, noop)
+    event = queue.push(2, noop)
+    assert len(queue) == 2
+    event.cancel()
+    queue.note_cancelled()
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled_head():
+    queue = EventQueue()
+    head = queue.push(1, noop)
+    queue.push(2, noop)
+    head.cancel()
+    queue.note_cancelled()
+    assert queue.peek_time() == 2

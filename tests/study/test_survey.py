@@ -1,0 +1,62 @@
+"""Tests for the survey models (Figures 1 and 10)."""
+
+import pytest
+
+from repro.study.survey import (
+    ACTIVITIES,
+    run_dmos_survey,
+    run_usage_survey,
+)
+
+
+def test_usage_survey_response_counts():
+    survey = run_usage_survey(n_respondents=48, seed=1)
+    for question, ratings in survey.responses.items():
+        assert len(ratings) == 48
+        assert all(1 <= r <= 5 for r in ratings)
+
+
+def test_video_streaming_most_frequent_activity():
+    """§3: streaming videos was the most frequent activity."""
+    survey = run_usage_survey(n_respondents=200, seed=2)
+    order = survey.activity_order()
+    assert order[0] == "streaming_videos"
+    assert order[-1] == "playing_games"
+
+
+def test_multitasking_common():
+    survey = run_usage_survey(n_respondents=200, seed=3)
+    assert survey.mean_rating("more_than_one_bg_app") > 3.0
+
+
+def test_histogram_sums_to_respondents():
+    survey = run_usage_survey(n_respondents=48, seed=4)
+    histogram = survey.histogram("streaming_videos")
+    assert sum(histogram.values()) == 48
+
+
+def test_usage_survey_deterministic():
+    a = run_usage_survey(seed=7).responses
+    b = run_usage_survey(seed=7).responses
+    assert a == b
+
+
+def test_dmos_survey_majority_annoyed_at_paper_operating_point():
+    """Figure 10: at 3% vs 35% drops, most of the 99 raters score 1-2."""
+    survey = run_dmos_survey(0.03, 0.35, n_raters=99, seed=5)
+    assert len(survey.ratings) == 99
+    assert survey.fraction_annoyed > 0.5
+    assert survey.mean < 2.6
+
+
+def test_dmos_no_difference_scores_high():
+    survey = run_dmos_survey(0.03, 0.03, n_raters=99, seed=6)
+    assert survey.mean > 4.2
+    assert survey.fraction_annoyed < 0.1
+
+
+def test_dmos_histogram_covers_scale():
+    survey = run_dmos_survey(0.03, 0.35, n_raters=99, seed=7)
+    histogram = survey.histogram
+    assert set(histogram) == {1, 2, 3, 4, 5}
+    assert sum(histogram.values()) == 99

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_device():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--device", "iphone"])
+
+
+def test_run_command_json(capsys):
+    code = main([
+        "run", "--device", "nexus5", "--resolution", "240p", "--fps", "30",
+        "--duration", "5", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["device"] == "Nexus 5"
+    assert payload["frames_processed"] == 150
+    assert payload["crashed"] is False
+
+
+def test_run_command_human(capsys):
+    code = main([
+        "run", "--device", "nexus5", "--resolution", "240p",
+        "--duration", "5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rendered" in out and "MOS" in out
+
+
+def test_run_with_memory_aware_abr(capsys):
+    code = main([
+        "run", "--device", "nokia1", "--resolution", "480p", "--fps", "60",
+        "--pressure", "moderate", "--duration", "8", "--memory-aware-abr",
+        "--json",
+    ])
+    assert code == 0
+    json.loads(capsys.readouterr().out)
+
+
+def test_sweep_command_json(capsys):
+    code = main([
+        "sweep", "--devices", "nexus5", "--resolutions", "240p",
+        "--fps", "30", "--pressures", "normal", "--duration", "5",
+        "--reps", "1", "--json",
+    ])
+    assert code == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 1
+    assert rows[0]["crash_rate"] == 0.0
+
+
+def test_study_command(capsys):
+    code = main(["study", "--scale", "0.02", "--seed", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "devices kept" in out
+    assert "frac_median_util_ge_60" in out
+
+
+def test_trace_command_json(capsys):
+    code = main([
+        "trace", "--pressure", "normal", "--duration", "8", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "video_thread_states_s" in payload
+    assert payload["crashed"] in (True, False)

@@ -1,0 +1,71 @@
+"""Unit tests for trace-analysis queries."""
+
+from repro.sched import SchedClass, Scheduler, ThreadState, make_cores
+from repro.sim import Simulator, millis
+from repro.trace.analysis import (
+    cpu_utilization_series,
+    preemption_stats,
+    state_breakdown,
+    state_times,
+    top_running_threads,
+)
+from repro.trace.recorder import TraceRecorder
+
+
+def build_trace():
+    sim = Simulator(seed=10)
+    sched = Scheduler(sim, make_cores([1.0]))
+    recorder = TraceRecorder(sim)
+    video = sched.spawn("video", SchedClass.FOREGROUND)
+    mmcqd = sched.spawn("mmcqd", SchedClass.IO)
+    video.post(millis(20) * 1.0)
+    sim.schedule(millis(5), mmcqd.post, millis(3) * 1.0)
+    sim.run()
+    return sim, recorder
+
+
+def test_state_times_by_selector():
+    sim, recorder = build_trace()
+    times = state_times(recorder, lambda name: name == "video")
+    assert times[ThreadState.RUNNING] == 0.020
+    assert times[ThreadState.RUNNABLE_PREEMPTED] == 0.003
+
+
+def test_top_running_threads_sorted():
+    sim, recorder = build_trace()
+    ranking = top_running_threads(recorder)
+    names = [name for name, _ in ranking]
+    assert names[0] == "video"
+    values = [seconds for _, seconds in ranking]
+    assert values == sorted(values, reverse=True)
+
+
+def test_state_breakdown_sums_to_one():
+    sim, recorder = build_trace()
+    breakdown = state_breakdown(recorder, "video")
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+    assert breakdown[ThreadState.RUNNING] > 0.5
+
+
+def test_preemption_stats_for_video_threads():
+    sim, recorder = build_trace()
+    stats = preemption_stats(recorder, lambda name: name == "video")
+    mmcqd = next(s for s in stats if s.victor == "mmcqd")
+    assert mmcqd.count == 1
+    assert mmcqd.mean_victor_run_s == 0.003
+    assert mmcqd.mean_victim_wait_s == 0.003
+
+
+def test_cpu_utilization_series_bounds():
+    sim, recorder = build_trace()
+    series = cpu_utilization_series(recorder, "video", window=millis(5))
+    assert series
+    assert all(0.0 <= util <= 1.0 for _, util in series)
+    assert series[0][1] == 1.0  # first 5ms fully busy
+
+
+def test_unknown_thread_zero_breakdown():
+    sim, recorder = build_trace()
+    breakdown = state_breakdown(recorder, "ghost")
+    # A never-seen thread has a whole-lifetime SLEEPING interval.
+    assert breakdown[ThreadState.SLEEPING] == 1.0

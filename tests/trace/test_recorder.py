@@ -1,0 +1,86 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sched import SchedClass, Scheduler, ThreadState, make_cores
+from repro.sim import Simulator, millis
+from repro.trace.recorder import TraceRecorder
+
+
+def make_traced(n_cores=1):
+    sim = Simulator(seed=9)
+    sched = Scheduler(sim, make_cores([1.0] * n_cores))
+    recorder = TraceRecorder(sim)
+    return sim, sched, recorder
+
+
+def test_transitions_recorded():
+    sim, sched, recorder = make_traced()
+    thread = sched.spawn("worker")
+    thread.post(1000)
+    sim.run()
+    states = [state for _, state in recorder.transitions["worker"]]
+    assert ThreadState.RUNNING in states
+    assert states[-1] is ThreadState.SLEEPING
+
+
+def test_intervals_tile_time():
+    sim, sched, recorder = make_traced()
+    thread = sched.spawn("worker")
+    thread.post(millis(5) * 1.0)
+    sim.run(until=millis(10))
+    intervals = recorder.intervals("worker")
+    assert intervals[0][0] == 0
+    assert intervals[-1][1] == sim.now
+    for (s1, e1, _), (s2, e2, _) in zip(intervals, intervals[1:]):
+        assert e1 == s2
+
+
+def test_interval_states_sum_matches_accounting():
+    sim, sched, recorder = make_traced()
+    a = sched.spawn("a")
+    b = sched.spawn("b")
+    a.post(millis(6) * 1.0)
+    b.post(millis(6) * 1.0)
+    sim.run()
+    for thread in (a, b):
+        running = sum(
+            end - start
+            for start, end, state in recorder.intervals(thread.name)
+            if state is ThreadState.RUNNING
+        )
+        assert running == thread.time_in(ThreadState.RUNNING)
+
+
+def test_preemptions_recorded_with_victor():
+    sim, sched, recorder = make_traced()
+    fg = sched.spawn("victim", SchedClass.FOREGROUND)
+    io = sched.spawn("mmcqd", SchedClass.IO)
+    fg.post(millis(20) * 1.0)
+    sim.schedule(millis(2), io.post, millis(1) * 1.0)
+    sim.run()
+    assert any(
+        victim == "victim" and victor == "mmcqd"
+        for _, victim, victor, _ in recorder.preemptions
+    )
+
+
+def test_counter_sampling():
+    sim, sched, recorder = make_traced()
+    value = {"x": 0.0}
+    recorder.track_counter("x", lambda: value["x"])
+    recorder.start_sampling(period=millis(100))
+    sim.schedule(millis(250), lambda: value.update(x=5.0))
+    sim.run(until=millis(500))
+    samples = recorder.counters["x"]
+    assert len(samples) >= 4
+    assert samples[0][1] == 0.0
+    assert samples[-1][1] == 5.0
+
+
+def test_migrations_counted():
+    sim, sched, recorder = make_traced(n_cores=2)
+    # Without forcing migration just verify the dict exists and is
+    # consistent with thread counters.
+    t = sched.spawn("t")
+    t.post(1000)
+    sim.run()
+    assert recorder.migrations.get("t", 0) == t.migrations

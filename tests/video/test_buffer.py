@@ -1,0 +1,65 @@
+"""Unit tests for the playback buffer."""
+
+import pytest
+
+from repro.video.buffer import PlaybackBuffer
+from repro.video.dash import Segment
+
+
+def seg(index, duration=4.0, size=1000):
+    return Segment(index, duration, size)
+
+
+def test_push_pop_fifo():
+    buffer = PlaybackBuffer(60.0)
+    buffer.push(seg(0), "480p@30")
+    buffer.push(seg(1), "480p@30")
+    first, rep = buffer.pop()
+    assert first.index == 0 and rep == "480p@30"
+
+
+def test_levels_track_contents():
+    buffer = PlaybackBuffer(60.0)
+    buffer.push(seg(0, 4.0, 500), "a")
+    buffer.push(seg(1, 4.0, 700), "a")
+    assert buffer.level_s == 8.0
+    assert buffer.level_bytes == 1200
+    buffer.pop()
+    assert buffer.level_s == 4.0
+    assert buffer.level_bytes == 700
+
+
+def test_has_room_respects_capacity():
+    buffer = PlaybackBuffer(8.0)
+    buffer.push(seg(0), "a")
+    assert buffer.has_room
+    buffer.push(seg(1), "a")
+    assert not buffer.has_room
+
+
+def test_pop_empty_returns_none():
+    buffer = PlaybackBuffer(10.0)
+    assert buffer.pop() is None
+    assert buffer.peek_representation() is None
+
+
+def test_levels_zeroed_at_empty():
+    buffer = PlaybackBuffer(10.0)
+    buffer.push(seg(0, 3.999999), "a")
+    buffer.pop()
+    assert buffer.level_s == 0.0
+    assert buffer.level_bytes == 0
+
+
+def test_flush_returns_bytes():
+    buffer = PlaybackBuffer(60.0)
+    buffer.push(seg(0, 4.0, 800), "a")
+    buffer.push(seg(1, 4.0, 900), "a")
+    assert buffer.flush() == 1700
+    assert len(buffer) == 0
+    assert buffer.level_s == 0.0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        PlaybackBuffer(0)

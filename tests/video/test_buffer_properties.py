@@ -1,0 +1,65 @@
+"""Property-based tests for the playback buffer and ABR monotonicity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.buffer import PlaybackBuffer
+from repro.video.dash import Segment
+
+
+@settings(max_examples=80)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.floats(0.5, 4.0), st.integers(1, 10_000)),
+            st.tuples(st.just("pop"), st.none(), st.none()),
+            st.tuples(st.just("flush"), st.none(), st.none()),
+        ),
+        max_size=40,
+    )
+)
+def test_buffer_levels_always_consistent(ops):
+    buffer = PlaybackBuffer(capacity_s=60.0)
+    index = 0
+    expected = []
+    for op, duration, size in ops:
+        if op == "push":
+            segment = Segment(index, duration, size)
+            buffer.push(segment, "rep")
+            expected.append(segment)
+            index += 1
+        elif op == "pop":
+            popped = buffer.pop()
+            if expected:
+                assert popped[0] is expected.pop(0)
+            else:
+                assert popped is None
+        else:
+            buffer.flush()
+            expected.clear()
+        assert len(buffer) == len(expected)
+        assert buffer.level_bytes == sum(s.size_bytes for s in expected)
+        assert abs(buffer.level_s - sum(s.duration_s for s in expected)) < 1e-6
+        assert buffer.level_s >= 0 and buffer.level_bytes >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(throughputs=st.lists(st.floats(0.1, 100.0), min_size=2, max_size=6))
+def test_rate_based_choice_monotone_in_throughput(throughputs):
+    """More measured throughput never selects a lower bitrate rung."""
+    from repro.core.abr import RateBasedAbr
+    from repro.device import nexus6p
+    from repro.video import VideoPlayer
+    from repro.video.encoding import GENRES, VideoAsset
+
+    device = nexus6p(seed=1)
+    asset = VideoAsset("t", GENRES["travel"], 8.0, frame_rates=(30, 60))
+    player = VideoPlayer(device, asset, "480p", 30)
+    abr = RateBasedAbr(fps=30)
+
+    chosen = []
+    for mbps in sorted(throughputs):
+        player.throughput_history = [(0.0, mbps)]
+        rep = abr.choose_representation(player)
+        chosen.append(rep.bitrate_kbps)
+    assert chosen == sorted(chosen)

@@ -1,0 +1,42 @@
+"""Unit tests for client implementation profiles."""
+
+from repro.video.clients import CLIENTS, chrome, exoplayer, firefox
+
+
+def test_footprint_ordering():
+    """Firefox heaviest, ExoPlayer lightest (Appendix B)."""
+    assert firefox().base_pss_mb > chrome().base_pss_mb > exoplayer().base_pss_mb
+
+
+def test_codec_buffer_scales_with_resolution_and_fps():
+    client = firefox()
+    assert client.codec_buffer_pages("1080p", 30) > client.codec_buffer_pages("240p", 30)
+    assert client.codec_buffer_pages("480p", 60) > client.codec_buffer_pages("480p", 30)
+
+
+def test_texture_pages_scale_with_pixels():
+    client = firefox()
+    assert client.texture_pages("1080p") > client.texture_pages("240p") * 10
+
+
+def test_decode_multipliers_ordered():
+    assert exoplayer().decode_multiplier < chrome().decode_multiplier
+    assert chrome().decode_multiplier < firefox().decode_multiplier
+
+
+def test_browser_plays_in_tab_process_native_in_foreground():
+    assert firefox().oom_adj > 0
+    assert chrome().oom_adj > 0
+    assert exoplayer().oom_adj == 0
+
+
+def test_registry_complete():
+    assert set(CLIENTS) == {"firefox", "chrome", "exoplayer"}
+    for name, factory in CLIENTS.items():
+        assert factory().name == name
+
+
+def test_decode_buffer_frames_by_fps():
+    client = firefox()
+    assert client.decode_buffer_frames(60) > client.decode_buffer_frames(30)
+    assert client.decode_buffer_frames(48) == client.decode_buffer_frames(60)

@@ -1,0 +1,74 @@
+"""Unit tests for the DASH manifest model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import RandomStreams
+from repro.video.dash import SEGMENT_DURATION_S, Manifest
+from repro.video.encoding import GENRES, VideoAsset
+
+
+def make_manifest(duration=30.0, frame_rates=(30, 60)):
+    asset = VideoAsset("test", GENRES["travel"], duration,
+                       resolutions=("240p", "480p", "1080p"),
+                       frame_rates=frame_rates)
+    return Manifest(asset, RandomStreams(5))
+
+
+def test_representation_lookup():
+    manifest = make_manifest()
+    rep = manifest.representation("480p", 60)
+    assert rep.resolution == "480p"
+    assert rep.fps == 60
+    assert rep.id == "480p@60"
+    with pytest.raises(KeyError):
+        manifest.representation("720p", 60)
+
+
+def test_segments_tile_duration():
+    manifest = make_manifest(duration=30.0)
+    for rep in manifest.representations:
+        total = sum(seg.duration_s for seg in rep.segments)
+        assert total == pytest.approx(30.0)
+        assert all(seg.duration_s <= SEGMENT_DURATION_S + 1e-9 for seg in rep.segments)
+
+
+def test_segment_count_consistent_across_reps():
+    manifest = make_manifest()
+    counts = {len(rep.segments) for rep in manifest.representations}
+    assert len(counts) == 1
+    assert manifest.segment_count == counts.pop()
+
+
+def test_segment_sizes_track_bitrate():
+    manifest = make_manifest()
+    low = manifest.representation("240p", 30)
+    high = manifest.representation("1080p", 60)
+    assert high.total_bytes > low.total_bytes * 5
+
+
+def test_representations_sorted_by_bitrate():
+    manifest = make_manifest()
+    rates = [rep.bitrate_kbps for rep in manifest.representations]
+    assert rates == sorted(rates)
+
+
+def test_ladder_is_readable():
+    ladder = make_manifest().ladder()
+    assert any("1080p@60" in rung for rung in ladder)
+
+
+@settings(max_examples=25, deadline=None)
+@given(duration=st.floats(min_value=4.0, max_value=600.0))
+def test_nonuniform_durations_still_tile(duration):
+    manifest = make_manifest(duration=duration)
+    rep = manifest.representations[0]
+    assert sum(s.duration_s for s in rep.segments) == pytest.approx(duration)
+    assert all(s.size_bytes > 0 for s in rep.segments)
+
+
+def test_manifests_deterministic_for_same_seed():
+    a = make_manifest().representation("480p", 30)
+    b = make_manifest().representation("480p", 30)
+    assert [s.size_bytes for s in a.segments] == [s.size_bytes for s in b.segments]

@@ -1,0 +1,65 @@
+"""Unit tests for video encodings and the bitrate ladder."""
+
+import pytest
+
+from repro.video.encoding import (
+    BITRATE_LADDER_KBPS,
+    GENRES,
+    RESOLUTION_ORDER,
+    RESOLUTIONS,
+    VideoAsset,
+    bitrate_kbps,
+    default_video,
+    paper_catalog,
+)
+
+
+def test_resolution_pixel_counts():
+    assert RESOLUTIONS["1080p"].pixels == 1920 * 1080
+    assert RESOLUTIONS["240p"].pixels == 426 * 240
+
+
+def test_resolution_order_is_ascending_pixels():
+    pixels = [RESOLUTIONS[name].pixels for name in RESOLUTION_ORDER]
+    assert pixels == sorted(pixels)
+
+
+def test_ladder_bitrates_increase_with_resolution():
+    for fps in (30, 60):
+        rates = [bitrate_kbps(res, fps) for res in RESOLUTION_ORDER]
+        assert rates == sorted(rates)
+        assert len(set(rates)) == len(rates)
+
+
+def test_high_fps_rung_costs_more():
+    for res in RESOLUTION_ORDER:
+        assert bitrate_kbps(res, 60) > bitrate_kbps(res, 30)
+        assert bitrate_kbps(res, 48) == bitrate_kbps(res, 60)
+        assert bitrate_kbps(res, 24) == bitrate_kbps(res, 30)
+
+
+def test_unknown_resolution_rejected():
+    with pytest.raises(KeyError):
+        bitrate_kbps("4320p", 30)
+    with pytest.raises(KeyError):
+        bitrate_kbps("480p", 25)
+
+
+def test_genre_complexities():
+    assert GENRES["sports"].complexity > GENRES["news"].complexity
+    assert set(GENRES) == {"travel", "sports", "gaming", "news", "nature"}
+
+
+def test_asset_encodings_cover_grid():
+    asset = VideoAsset("t", GENRES["travel"], 30.0,
+                       resolutions=("480p", "720p"), frame_rates=(30, 60))
+    encodings = asset.encodings()
+    assert len(encodings) == 4
+    assert ("720p", 60, bitrate_kbps("720p", 60)) in encodings
+
+
+def test_paper_catalog_has_five_genres():
+    catalog = paper_catalog(duration_s=45.0)
+    assert len(catalog) == 5
+    assert all(asset.duration_s == 45.0 for asset in catalog.values())
+    assert default_video().genre.name == "travel"

@@ -1,0 +1,59 @@
+"""Unit tests for network link models."""
+
+import pytest
+
+from repro.sim.clock import micros, seconds
+from repro.video.network import Link, TraceLink, lan_link
+
+
+def test_fixed_link_transfer_time():
+    link = Link(bandwidth_mbps=8.0, rtt_ms=10.0)
+    # 1 MB at 8 Mbps = 1 second, plus RTT.
+    assert link.transfer_time(1_000_000) == seconds(1.0) + micros(10_000)
+
+
+def test_zero_bytes_costs_only_rtt():
+    link = Link(bandwidth_mbps=100.0, rtt_ms=4.0)
+    assert link.transfer_time(0) == micros(4_000)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Link(10.0).transfer_time(-1)
+
+
+def test_lan_link_is_fast():
+    link = lan_link()
+    # A 4-second 1080p60 segment (~6 MB) downloads in well under a second.
+    assert link.transfer_time(6_000_000) < seconds(0.5)
+
+
+def test_trace_link_piecewise_throughput():
+    trace = TraceLink([(0.0, 10.0), (1.0, 2.0)], rtt_ms=0.0)
+    assert trace.throughput_at(seconds(0.5)) == 10.0
+    assert trace.throughput_at(seconds(1.5)) == 2.0
+
+
+def test_trace_link_integrates_across_boundary():
+    trace = TraceLink([(0.0, 8.0), (1.0, 4.0)], rtt_ms=0.0)
+    # 1.5 MB: 1 MB in the first second at 8 Mbps, 0.5 MB at 4 Mbps = 1 s.
+    t = trace.transfer_time(1_500_000, start=0)
+    assert t == pytest.approx(seconds(2.0), rel=1e-6)
+
+
+def test_trace_link_validation():
+    with pytest.raises(ValueError):
+        TraceLink([])
+    with pytest.raises(ValueError):
+        TraceLink([(1.0, 5.0)])  # must start at 0
+    with pytest.raises(ValueError):
+        TraceLink([(0.0, 5.0), (0.0, 3.0)])  # non-increasing
+    with pytest.raises(ValueError):
+        TraceLink([(0.0, 0.0)])  # zero bandwidth
+
+
+def test_trace_link_start_offset_changes_rate():
+    trace = TraceLink([(0.0, 100.0), (10.0, 1.0)], rtt_ms=0.0)
+    fast = trace.transfer_time(1_000_000, start=0)
+    slow = trace.transfer_time(1_000_000, start=seconds(10))
+    assert slow > fast * 50

@@ -1,0 +1,83 @@
+"""Unit tests for the decode/render pipeline in isolation."""
+
+import pytest
+
+from repro.device import nexus5
+from repro.sim import seconds
+from repro.video.pipeline import PipelineStats
+from repro.video import VideoPlayer, default_video
+
+
+def test_stats_drop_rate_zero_when_untouched():
+    stats = PipelineStats()
+    assert stats.drop_rate == 0.0
+    assert stats.frames_dropped == 0
+    assert stats.rendered_fps_series() == []
+
+
+def test_fps_series_binning():
+    stats = PipelineStats()
+    stats.render_times = [0.1, 0.2, 0.9, 1.1, 2.5]
+    series = stats.rendered_fps_series(bin_s=1.0)
+    assert series == [3.0, 1.0, 1.0]
+
+
+def test_fps_series_start_offset():
+    stats = PipelineStats()
+    stats.render_times = [5.1, 5.5, 6.2]
+    series = stats.rendered_fps_series(bin_s=1.0, start_s=5.0)
+    assert series == [2.0, 1.0]
+    assert stats.rendered_fps_series(start_s=10.0) == []
+
+
+def play(duration=6.0, resolution="480p", fps=30):
+    device = nexus5(seed=33)
+    player = VideoPlayer(device, default_video(duration_s=duration),
+                         resolution, fps)
+    player.start()
+    while not player.finished and device.sim.now < seconds(duration * 6):
+        device.run(until=device.sim.now + seconds(1))
+    return player
+
+
+def test_pipeline_decode_estimator_learns():
+    player = play()
+    # After a session the EWMA holds a plausible per-frame wall time.
+    est_ms = player.pipeline._decode_wall_est / 1000
+    assert 0.1 < est_ms < 33.0
+
+
+def test_stop_is_idempotent_and_final():
+    player = play(duration=4.0)
+    pipeline = player.pipeline
+    pipeline.stop()
+    pipeline.stop()
+    before = pipeline.stats.frames_processed
+    pipeline.feed()
+    pipeline.start()
+    assert pipeline.stats.frames_processed == before
+
+
+def test_segment_switch_changes_period():
+    player = play(duration=4.0, fps=30)
+    pipeline = player.pipeline
+    pipeline.set_encoding("480p", 60)
+    assert pipeline.period == pytest.approx(1_000_000 / 60, abs=1)
+    pipeline.set_encoding("480p", 24)
+    assert pipeline.period == pytest.approx(1_000_000 / 24, abs=1)
+
+
+def test_rebuffer_accounted_on_slow_network():
+    from repro.video.network import Link
+
+    device = nexus5(seed=34)
+    # 0.9 Mbps for a 2.5 Mbps video: the buffer starves repeatedly.
+    player = VideoPlayer(
+        device, default_video(duration_s=12.0), "480p", 30,
+        link=Link(bandwidth_mbps=0.9, rtt_ms=30.0),
+    )
+    player.start()
+    while not player.finished and device.sim.now < seconds(240):
+        device.run(until=device.sim.now + seconds(1))
+    assert player.finished
+    assert player.result.rebuffer_s > 1.0

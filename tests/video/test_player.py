@@ -1,0 +1,106 @@
+"""Integration tests for the video player on simulated devices."""
+
+import pytest
+
+from repro.device import nexus5, nokia1
+from repro.sim import seconds
+from repro.video import VideoPlayer, default_video
+from repro.video.clients import exoplayer
+from repro.video.encoding import GENRES, VideoAsset
+
+
+def play(device, resolution="480p", fps=30, duration=10.0, client=None, abr=None):
+    player = VideoPlayer(
+        device, default_video(duration_s=duration), resolution, fps,
+        client=client, abr=abr,
+    )
+    player.start()
+    while not player.finished and device.sim.now < seconds(duration * 8):
+        device.run(until=device.sim.now + seconds(1))
+    return player
+
+
+def test_clean_playback_renders_nearly_all_frames():
+    device = nexus5(seed=42)
+    player = play(device, "480p", 30, duration=10.0)
+    result = player.result
+    assert result.frames_processed == 300
+    assert result.frames_rendered >= 295
+    assert not result.crashed
+    device.memory.check_consistency()
+
+
+def test_frame_accounting_balances():
+    device = nexus5(seed=42)
+    player = play(device, "720p", 60, duration=10.0)
+    stats = player.pipeline.stats
+    assert stats.frames_rendered + stats.frames_dropped == stats.frames_processed
+
+
+def test_pss_grows_with_resolution():
+    lo = play(nexus5(seed=1), "240p", 30, duration=8.0).result
+    hi = play(nexus5(seed=1), "1080p", 30, duration=8.0).result
+    assert hi.pss_mean_mb > lo.pss_mean_mb + 20
+
+
+def test_pss_grows_with_frame_rate():
+    lo = play(nexus5(seed=1), "720p", 30, duration=8.0).result
+    hi = play(nexus5(seed=1), "720p", 60, duration=8.0).result
+    assert hi.pss_mean_mb > lo.pss_mean_mb
+
+
+def test_exoplayer_has_smaller_footprint():
+    firefox_run = play(nexus5(seed=2), "480p", 30, duration=8.0).result
+    exo_run = play(nexus5(seed=2), "480p", 30, duration=8.0,
+                   client=exoplayer()).result
+    assert exo_run.pss_mean_mb < firefox_run.pss_mean_mb - 50
+
+
+def test_entry_device_struggles_at_1080p60():
+    player = play(nokia1(seed=3), "1080p", 60, duration=10.0)
+    assert player.result.drop_rate > 0.5
+
+
+def test_throughput_history_recorded():
+    device = nexus5(seed=4)
+    player = play(device, "480p", 30, duration=10.0)
+    assert player.throughput_history
+    assert player.estimated_throughput_mbps() > 0
+
+
+def test_rendered_fps_capped_at_encoding_rate():
+    device = nexus5(seed=5)
+    player = play(device, "480p", 30, duration=10.0)
+    assert all(fps <= 31 for fps in player.result.fps_series)
+
+
+def test_set_representation_switches_future_segments():
+    device = nexus5(seed=6)
+    asset = VideoAsset("t", GENRES["travel"], 12.0, frame_rates=(24, 60))
+    player = VideoPlayer(device, asset, "480p", 60)
+    player.start()
+    device.run(until=seconds(2))
+    player.set_representation("480p", 24, flush=True)
+    while not player.finished and device.sim.now < seconds(60):
+        device.run(until=device.sim.now + seconds(1))
+    assert player.result.switch_log
+    # Late bins render at 24 FPS, not 60.
+    tail = player.result.fps_series[-4:-1]
+    assert all(fps <= 25 for fps in tail)
+    device.memory.check_consistency()
+
+
+def test_set_representation_same_rep_is_noop():
+    device = nexus5(seed=7)
+    player = VideoPlayer(device, default_video(duration_s=8.0), "480p", 30)
+    player.start()
+    player.set_representation("480p", 30)
+    assert player.result.switch_log == []
+
+
+def test_session_end_emits_event():
+    device = nexus5(seed=8)
+    ended = []
+    device.sim.on("session.end", lambda time, player: ended.append(time))
+    play(device, "240p", 30, duration=8.0)
+    assert len(ended) == 1

@@ -1,0 +1,64 @@
+"""Unit tests for the video origin server."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.rng import RandomStreams
+from repro.video.dash import Manifest
+from repro.video.encoding import GENRES, VideoAsset
+from repro.video.network import Link
+from repro.video.server import VideoServer
+
+
+def make_server(bandwidth_mbps=100.0):
+    sim = Simulator(seed=3)
+    asset = VideoAsset("t", GENRES["news"], 12.0,
+                       resolutions=("480p",), frame_rates=(30,))
+    manifest = Manifest(asset, RandomStreams(3))
+    server = VideoServer(sim, manifest, Link(bandwidth_mbps))
+    return sim, manifest, server
+
+
+def test_segment_delivered_after_transfer_time():
+    sim, manifest, server = make_server()
+    rep = manifest.representation("480p", 30)
+    arrived = []
+    server.request_segment(rep, 0, lambda seg: arrived.append((sim.now, seg)))
+    sim.run()
+    assert len(arrived) == 1
+    time, segment = arrived[0]
+    assert segment.index == 0
+    assert time > 0
+
+
+def test_slower_link_takes_longer():
+    def fetch_time(mbps):
+        sim, manifest, server = make_server(mbps)
+        rep = manifest.representation("480p", 30)
+        done = []
+        server.request_segment(rep, 0, lambda seg: done.append(sim.now))
+        sim.run()
+        return done[0]
+
+    assert fetch_time(2.0) > fetch_time(100.0) * 5
+
+
+def test_out_of_range_segment_rejected():
+    sim, manifest, server = make_server()
+    rep = manifest.representation("480p", 30)
+    with pytest.raises(IndexError):
+        server.request_segment(rep, 999, lambda seg: None)
+    with pytest.raises(IndexError):
+        server.request_segment(rep, -1, lambda seg: None)
+
+
+def test_counters_accumulate():
+    sim, manifest, server = make_server()
+    rep = manifest.representation("480p", 30)
+    server.request_segment(rep, 0, lambda seg: None)
+    server.request_segment(rep, 1, lambda seg: None)
+    sim.run()
+    assert server.requests_served == 2
+    assert server.bytes_served == (
+        rep.segments[0].size_bytes + rep.segments[1].size_bytes
+    )

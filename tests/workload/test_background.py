@@ -1,0 +1,60 @@
+"""Tests for the organic background-app workload."""
+
+import pytest
+
+from repro.device import nokia1
+from repro.sim import seconds
+from repro.workload import BackgroundWorkload
+from repro.workload.apps import TOP_FREE_APPS, top_apps
+
+
+def test_top_apps_slicing():
+    assert len(top_apps(8)) == 8
+    assert top_apps(1)[0].name == TOP_FREE_APPS[0].name
+    with pytest.raises(ValueError):
+        top_apps(99)
+
+
+def test_launch_all_settles_and_backgrounds():
+    device = nokia1(seed=11)
+    workload = BackgroundWorkload(device, count=4, restart=False)
+    settled = []
+    workload.launch_all(on_settled=lambda: settled.append(device.sim.now))
+    device.run(until=seconds(60))
+    assert settled
+    assert workload._launched == 4
+    # Launched apps end up in the cached oom_adj band (if still alive).
+    for process in workload.processes:
+        if process.alive:
+            assert process.oom_adj >= 900
+    device.memory.check_consistency()
+
+
+def test_heavy_workload_causes_kills_on_entry_device():
+    device = nokia1(seed=12)
+    workload = BackgroundWorkload(device, count=8, restart=False)
+    workload.launch_all()
+    device.run(until=seconds(90))
+    total_kills = device.memory.vmstat.lmkd_kills + device.memory.vmstat.oom_kills
+    assert total_kills > 0
+    assert workload.killed_count + workload.alive_count == len(workload.processes)
+
+
+def test_restart_brings_apps_back():
+    device = nokia1(seed=13)
+    workload = BackgroundWorkload(device, count=8, restart=True)
+    workload.launch_all()
+    device.run(until=seconds(120))
+    assert workload.restarts > 0
+    device.memory.check_consistency()
+
+
+def test_stop_halts_restarts():
+    device = nokia1(seed=14)
+    workload = BackgroundWorkload(device, count=8, restart=True)
+    workload.launch_all()
+    device.run(until=seconds(60))
+    workload.stop()
+    restarts_at_stop = workload.restarts
+    device.run(until=seconds(120))
+    assert workload.restarts <= restarts_at_stop + 1

@@ -1,0 +1,72 @@
+"""Tests for the MP Simulator workload."""
+
+import pytest
+
+from repro.device import nokia1
+from repro.kernel import MemoryPressureLevel
+from repro.sim import seconds
+from repro.workload import MPSimulator
+
+
+def test_normal_target_reached_immediately():
+    device = nokia1(seed=1)
+    mp = MPSimulator(device, MemoryPressureLevel.NORMAL)
+    reached = []
+    mp.engage(on_reached=lambda: reached.append(device.sim.now))
+    device.run(until=seconds(1))
+    assert reached == [0]
+    assert mp.held_mb == 0
+
+
+@pytest.mark.parametrize(
+    "target", [MemoryPressureLevel.MODERATE, MemoryPressureLevel.CRITICAL]
+)
+def test_target_levels_reached(target):
+    device = nokia1(seed=2)
+    mp = MPSimulator(device, target)
+    reached = []
+    mp.engage(on_reached=lambda: reached.append(device.sim.now))
+    device.run(until=seconds(60))
+    assert reached, f"never reached {target.name}"
+    assert mp.reached
+    assert mp.held_mb > 100
+    device.memory.check_consistency()
+
+
+def test_ratchet_never_releases():
+    device = nokia1(seed=3)
+    mp = MPSimulator(device, MemoryPressureLevel.MODERATE)
+    mp.engage()
+    device.run(until=seconds(20))
+    held_then = mp.process.pools.hot_total
+    device.run(until=seconds(40))
+    assert mp.process.pools.hot_total >= held_then - 10
+
+
+def test_simulator_is_unkillable_by_lmkd():
+    device = nokia1(seed=4)
+    mp = MPSimulator(device, MemoryPressureLevel.CRITICAL)
+    mp.engage()
+    device.run(until=seconds(60))
+    assert mp.process.alive
+    assert device.memory.vmstat.lmkd_kills > 0  # others died instead
+
+
+def test_double_engage_rejected():
+    device = nokia1(seed=5)
+    mp = MPSimulator(device, MemoryPressureLevel.MODERATE)
+    mp.engage()
+    with pytest.raises(RuntimeError):
+        mp.engage()
+
+
+def test_release_all_returns_memory():
+    device = nokia1(seed=6)
+    mp = MPSimulator(device, MemoryPressureLevel.MODERATE)
+    mp.engage()
+    device.run(until=seconds(30))
+    free_before = device.memory.state.free
+    resident = mp.process.pools.resident_anon
+    mp.release_all()
+    assert device.memory.state.free == free_before + resident
+    device.memory.check_consistency()
