@@ -1,0 +1,6 @@
+"""Performance microbenchmarks (engine throughput, sweep wall-clock).
+
+Files here are named ``bench_*.py`` so the default pytest run skips
+them; run via ``python -m benchmarks.perf.run``.  See
+``docs/performance.md`` for how the numbers are recorded.
+"""

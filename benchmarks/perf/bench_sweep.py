@@ -1,0 +1,66 @@
+"""End-to-end sweep wall-clock benchmark.
+
+Times a reduced Figure-9-style drop grid three ways — serial, fanned
+out over worker processes, and served from a warm result cache — the
+three execution paths the parallel fabric guarantees bit-identical.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict
+
+from repro.experiments.parallel import ResultCache
+from repro.experiments.video_experiments import drop_grid
+
+from .harness import time_once
+
+#: Reduced F9 grid: 8 cells x 2 repetitions = 16 sessions.
+GRID = dict(
+    resolutions=("240p", "480p"),
+    frame_rates=(30, 60),
+    pressures=("normal", "moderate"),
+    duration_s=8.0,
+    repetitions=2,
+)
+#: One-cell variant for the CI smoke job.
+QUICK = dict(
+    resolutions=("240p",),
+    frame_rates=(30,),
+    pressures=("normal",),
+    duration_s=4.0,
+    repetitions=1,
+)
+
+
+def run(jobs: int = 4, quick: bool = False, device: str = "nokia1") -> Dict:
+    """Time the grid serial / parallel / cached; return the numbers."""
+    params = QUICK if quick else GRID
+    n_sessions = (
+        len(params["resolutions"]) * len(params["frame_rates"])
+        * len(params["pressures"]) * params["repetitions"]
+    )
+
+    serial_s = time_once(lambda: drop_grid(device, cache=False, **params))
+    parallel_s = time_once(
+        lambda: drop_grid(device, cache=False, jobs=jobs, **params)
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultCache(tmp)
+        drop_grid(device, cache=store, **params)  # populate
+        cached_s = time_once(lambda: drop_grid(device, cache=store, **params))
+
+    return {
+        "device": device,
+        "sessions": n_sessions,
+        "serial_s": round(serial_s, 3),
+        f"jobs{jobs}_s": round(parallel_s, 3),
+        "cached_s": round(cached_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "cache_speedup": round(serial_s / cached_s, 1),
+    }
+
+
+if __name__ == "__main__":
+    for key, value in run().items():
+        print(f"{key:20s} {value}")

@@ -1,0 +1,56 @@
+"""Timing helpers and the ``BENCH_<date>.json`` writer.
+
+Each microbench is a callable ``fn(n)`` performing ``n`` operations;
+:func:`ops_per_sec` reports the best of several repeats, which filters
+out scheduler noise on shared machines.  :func:`write_bench` records a
+machine-readable snapshot so later PRs can diff engine throughput and
+sweep wall-clock against this one.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict
+
+
+def ops_per_sec(fn: Callable[[int], Any], n: int, repeats: int = 5) -> float:
+    """Best-of-``repeats`` throughput of ``fn(n)`` in operations/second."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(n)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return n / best
+
+
+def time_once(fn: Callable[[], Any]) -> float:
+    """Wall-clock seconds for a single call to ``fn``."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bench_path(out_dir: Path | str = ".") -> Path:
+    """Default output path: ``BENCH_<ISO date>.json`` in ``out_dir``."""
+    today = datetime.date.today().isoformat()
+    return Path(out_dir) / f"BENCH_{today}.json"
+
+
+def write_bench(path: Path | str, results: Dict[str, Any]) -> Path:
+    """Write a benchmark snapshot with enough provenance to compare."""
+    path = Path(path)
+    payload = {
+        "date": datetime.date.today().isoformat(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,45 @@
+"""Run every perf benchmark and record a ``BENCH_<date>.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.run             # full run
+    PYTHONPATH=src python -m benchmarks.perf.run --quick     # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf.run --out /tmp/bench.json
+
+Later PRs compare their own snapshot against the committed one to keep
+the engine-throughput and sweep wall-clock trajectories visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from . import bench_engine, bench_sweep
+from .harness import bench_path, write_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.perf.run")
+    parser.add_argument("--quick", action="store_true",
+                        help="small op counts / one-cell sweep (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel sweep leg")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="microbenchmarks only")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_<date>.json in cwd)")
+    args = parser.parse_args(argv)
+
+    results = {"engine_ops_per_sec": bench_engine.run(quick=args.quick)}
+    if not args.skip_sweep:
+        results["sweep"] = bench_sweep.run(jobs=args.jobs, quick=args.quick)
+
+    path = write_bench(args.out or bench_path(), results)
+    print(json.dumps(results, indent=2, sort_keys=True))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,10 @@ from typing import Any, Dict
 
 from .core.abr import MemoryAwareAbr
 from .core.qoe import summarize
-from .core.session import DEVICE_FACTORIES, StreamingSession
+from .core.session import DEVICE_FACTORIES
 from .experiments import study_experiments
-from .experiments.runner import run_cell
+from .experiments.parallel import SessionSpec, run_sessions
+from .experiments.runner import run_cells
 from .experiments.trace_experiments import profiled_run
 from .sched.states import ThreadState
 from .video.encoding import RESOLUTION_ORDER, SUPPORTED_FRAME_RATES
@@ -52,18 +53,20 @@ def _session_payload(result) -> Dict[str, Any]:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    session = StreamingSession(
+    spec = SessionSpec(
         device=args.device,
         resolution=args.resolution,
-        frame_rate=args.fps,
+        fps=args.fps,
         pressure=args.pressure,
         client=args.client,
         duration_s=args.duration,
         seed=args.seed,
         organic_apps=args.organic_apps,
-        abr=MemoryAwareAbr() if args.memory_aware_abr else None,
+        abr=MemoryAwareAbr if args.memory_aware_abr else None,
     )
-    result = session.run()
+    result = run_sessions(
+        [spec], jobs=args.jobs, cache=False if args.no_cache else None
+    )[0]
     payload = _session_payload(result)
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -87,27 +90,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     devices = args.devices.split(",")
     pressures = args.pressures.split(",")
     resolutions = args.resolutions.split(",")
+    grid = [
+        (device, resolution, fps, pressure)
+        for device in devices
+        for resolution in resolutions
+        for fps in args.fps
+        for pressure in pressures
+    ]
+    cells = run_cells(
+        [
+            dict(
+                device=device, resolution=resolution, fps=fps,
+                pressure=pressure, duration_s=args.duration,
+                repetitions=args.reps,
+            )
+            for device, resolution, fps, pressure in grid
+        ],
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+    )
     rows = []
-    for device in devices:
-        for resolution in resolutions:
-            for fps in args.fps:
-                for pressure in pressures:
-                    cell = run_cell(
-                        device=device, resolution=resolution, fps=fps,
-                        pressure=pressure, duration_s=args.duration,
-                        repetitions=args.reps,
-                    )
-                    stats = cell.stats
-                    rows.append({
-                        "device": device,
-                        "resolution": resolution,
-                        "fps": fps,
-                        "pressure": pressure,
-                        "mean_drop_rate": round(stats.mean_drop_rate, 4),
-                        "drop_rate_ci": round(stats.drop_rate_ci, 4),
-                        "crash_rate": round(stats.crash_rate, 4),
-                        "mean_pss_mb": round(stats.mean_pss_mb, 1),
-                    })
+    for (device, resolution, fps, pressure), cell in zip(grid, cells):
+        stats = cell.stats
+        rows.append({
+            "device": device,
+            "resolution": resolution,
+            "fps": fps,
+            "pressure": pressure,
+            "mean_drop_rate": round(stats.mean_drop_rate, 4),
+            "drop_rate_ci": round(stats.drop_rate_ci, 4),
+            "crash_rate": round(stats.crash_rate, 4),
+            "mean_pss_mb": round(stats.mean_pss_mb, 1),
+        })
     if args.json:
         print(json.dumps(rows, indent=2))
         return 0
@@ -120,7 +134,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
-    devices = study_experiments.build_study(scale=args.scale, seed=args.seed)
+    devices = study_experiments.build_study(
+        scale=args.scale, seed=args.seed, jobs=args.jobs
+    )
     summary = study_experiments.table1_summary(devices)
     transitions = study_experiments.fig6_transitions(devices)
     if args.json:
@@ -191,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--organic-apps", type=int, default=0)
     run_p.add_argument("--memory-aware-abr", action="store_true")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = all cores); a single "
+                            "session always runs in one process")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk session result cache")
     run_p.add_argument("--json", action="store_true")
     run_p.set_defaults(func=cmd_run)
 
@@ -201,12 +222,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--pressures", default="normal,moderate,critical")
     sweep_p.add_argument("--duration", type=float, default=20.0)
     sweep_p.add_argument("--reps", type=int, default=2)
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="fan (cell x repetition) jobs over N worker "
+                              "processes (0 = all cores)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk session result cache")
     sweep_p.add_argument("--json", action="store_true")
     sweep_p.set_defaults(func=cmd_sweep)
 
     study_p = sub.add_parser("study", help="run the §3 population study")
     study_p.add_argument("--scale", type=float, default=0.15)
     study_p.add_argument("--seed", type=int, default=3)
+    study_p.add_argument("--jobs", type=int, default=1,
+                         help="generate devices on N worker processes "
+                              "(0 = all cores)")
     study_p.add_argument("--json", action="store_true")
     study_p.set_defaults(func=cmd_study)
 

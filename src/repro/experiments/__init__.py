@@ -6,7 +6,8 @@ benchmarks that print them.
 """
 
 from . import adaptation_experiments, study_experiments, trace_experiments, video_experiments
-from .runner import DEFAULT_REPETITIONS, CellResult, run_cell
+from .parallel import ResultCache, SessionSpec, run_sessions
+from .runner import DEFAULT_REPETITIONS, CellResult, run_cell, run_cells
 
 __all__ = [
     "adaptation_experiments",
@@ -15,5 +16,9 @@ __all__ = [
     "video_experiments",
     "DEFAULT_REPETITIONS",
     "CellResult",
+    "ResultCache",
+    "SessionSpec",
     "run_cell",
+    "run_cells",
+    "run_sessions",
 ]

@@ -1,0 +1,278 @@
+"""Parallel experiment fabric and the content-addressed result cache.
+
+Every §4/§6 artefact decomposes into independent *session jobs* — one
+:class:`~repro.core.session.StreamingSession` per (cell, repetition)
+pair, each with its own deterministic seed.  This module fans those
+jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor` and
+reassembles results **by submission index**, so aggregation is
+completely order-independent: a parallel run is bit-identical to a
+serial run of the same specs.
+
+Two properties make that guarantee cheap to keep:
+
+* a session's entire randomness derives from its
+  :class:`~repro.sim.rng.RandomStreams` master seed via named streams,
+  so a repetition's result depends only on its :class:`SessionSpec`,
+  never on which worker ran it or what ran before it;
+* results are plain dataclasses, so shipping them across process
+  boundaries (or a cache file) loses nothing.
+
+The same spec-determines-result property powers the on-disk cache:
+a spec's canonical JSON (plus :data:`SCHEMA_VERSION`) is hashed into a
+content address, and figures that share cells (F9 and T2, F11 and T3
+share their base-seed repetitions) reuse each other's sessions instead
+of recomputing them.  Corrupt or stale entries deserialize as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Optional, Sequence
+
+from ..core.session import StreamingSession
+from ..video.encoding import VideoAsset
+from ..video.player import SessionResult
+
+#: Bump when SessionResult, the simulator, or any model changes in a
+#: way that alters results: old cache entries then stop matching.
+SCHEMA_VERSION = 1
+
+#: Seed stride between repetitions of a cell (a prime, so overlapping
+#: sweeps with different base seeds rarely collide).
+SEED_STRIDE = 7919
+
+#: Environment overrides: cache directory, and a global kill switch.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """A fully-determined session job: config + seed, nothing implicit.
+
+    ``abr`` may be a controller *factory* (class or zero-arg callable,
+    instantiated fresh in whichever process runs the job) or a shared
+    instance.  Shared instances carry mutable state across repetitions,
+    so such specs run serially in-process and are never cached.
+    """
+
+    device: str
+    resolution: str
+    fps: int
+    pressure: str
+    client: Optional[str]
+    duration_s: float
+    seed: int
+    organic_apps: int = 0
+    asset: Optional[VideoAsset] = None
+    abr: Any = None
+
+    @property
+    def cacheable(self) -> bool:
+        """Only ABR-free specs are cached: a controller's identity and
+        configuration are not part of the content address."""
+        return self.abr is None
+
+    @property
+    def parallel_safe(self) -> bool:
+        """False when ``abr`` is a shared instance (mutable cross-rep
+        state that a worker-process copy would silently fork)."""
+        return self.abr is None or callable(self.abr)
+
+
+def cache_key(spec: SessionSpec) -> str:
+    """Content address of a spec: SHA-256 over its canonical JSON."""
+    asset = spec.asset
+    material = {
+        "schema": SCHEMA_VERSION,
+        "device": spec.device,
+        "resolution": spec.resolution,
+        "fps": spec.fps,
+        "pressure": spec.pressure,
+        "client": spec.client or "",
+        "duration_s": repr(float(spec.duration_s)),
+        "seed": spec.seed,
+        "organic_apps": spec.organic_apps,
+        "asset": None if asset is None else {
+            "title": asset.title,
+            "genre": asset.genre.name,
+            "complexity": repr(asset.genre.complexity),
+            "duration_s": repr(float(asset.duration_s)),
+            "resolutions": list(asset.resolutions),
+            "frame_rates": list(asset.frame_rates),
+        },
+    }
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed pickle store for :class:`SessionResult`.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` (two-level fan-out keeps
+    directory listings sane at millions of entries).  Writes are atomic
+    (temp file + rename), so concurrent runs sharing a cache directory
+    can only ever observe complete entries.  Unreadable entries are
+    treated as misses and deleted.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SessionResult]:
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt, truncated, or written by an incompatible
+            # version: drop the entry and recompute.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(result, SessionResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SessionResult) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # Caching is an optimization; never fail the experiment
+            # over a full disk or read-only cache directory.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def default_cache_dir() -> Path:
+    """`$REPRO_CACHE_DIR`, else ``~/.cache/repro/sessions``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sessions"
+
+
+def resolve_cache(cache: Any = None) -> Optional[ResultCache]:
+    """Normalize a ``cache=`` argument.
+
+    ``None`` selects the default on-disk cache (unless ``REPRO_NO_CACHE``
+    is set), ``False`` disables caching, and a :class:`ResultCache`
+    passes through.
+    """
+    if cache is False:
+        return None
+    if cache is None:
+        if os.environ.get(CACHE_DISABLE_ENV):
+            return None
+        return ResultCache(default_cache_dir())
+    return cache
+
+
+def repetition_seeds(base_seed: int, repetitions: int) -> List[int]:
+    """The per-repetition seed schedule shared by every runner path."""
+    return [base_seed + rep * SEED_STRIDE for rep in range(repetitions)]
+
+
+def run_spec(spec: SessionSpec) -> SessionResult:
+    """Execute one session job to completion (worker entry point)."""
+    session = StreamingSession(
+        device=spec.device,
+        asset=spec.asset,
+        resolution=spec.resolution,
+        frame_rate=spec.fps,
+        pressure=spec.pressure,
+        client=spec.client,
+        duration_s=spec.duration_s,
+        seed=spec.seed,
+        organic_apps=spec.organic_apps,
+        abr=spec.abr() if callable(spec.abr) else spec.abr,
+    )
+    return session.run()
+
+
+def effective_jobs(jobs: Optional[int], n_tasks: int) -> int:
+    """Worker count: None/1 = serial, 0 or negative = all cores."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, n_tasks))
+
+
+def run_sessions(
+    specs: Sequence[SessionSpec],
+    jobs: Optional[int] = None,
+    cache: Any = None,
+) -> List[SessionResult]:
+    """Run session jobs, in parallel when asked, returning results in
+    submission order regardless of completion order.
+
+    Cache hits short-circuit before any process is spawned; misses are
+    computed (fanned out across ``jobs`` workers when the spec allows
+    it) and written back.  Serial, parallel, and cached paths all yield
+    bit-identical results for the same specs.
+    """
+    store = resolve_cache(cache)
+    results: List[Optional[SessionResult]] = [None] * len(specs)
+    keys: dict = {}
+    fan_out: List[int] = []
+    in_process: List[int] = []
+    for index, spec in enumerate(specs):
+        if store is not None and spec.cacheable:
+            key = cache_key(spec)
+            keys[index] = key
+            hit = store.get(key)
+            if hit is not None:
+                results[index] = hit
+                continue
+        (fan_out if spec.parallel_safe else in_process).append(index)
+
+    n_workers = effective_jobs(jobs, len(fan_out))
+    if fan_out:
+        if n_workers <= 1:
+            for index in fan_out:
+                results[index] = run_spec(specs[index])
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {
+                    pool.submit(run_spec, specs[index]): index
+                    for index in fan_out
+                }
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+    # Shared-instance ABR jobs: run in submission order, in-process, so
+    # their cross-repetition state evolves exactly as a serial run's.
+    for index in in_process:
+        results[index] = run_spec(specs[index])
+
+    if store is not None:
+        for index in fan_out:
+            if index in keys:
+                store.put(keys[index], results[index])
+    return results  # type: ignore[return-value]

@@ -4,17 +4,24 @@ The paper repeats each controlled experiment five times and reports
 means with 95% confidence intervals (§4.1).  :func:`run_cell` executes
 one experimental cell — (device, resolution, fps, pressure, client) —
 with per-repetition seeds and aggregates the results.
+
+Both :func:`run_cell` and the grid-level :func:`run_cells` delegate to
+the parallel fabric in :mod:`repro.experiments.parallel`: repetitions
+(and whole grids of them) fan out over worker processes when ``jobs``
+asks for it, and completed sessions land in the content-addressed
+result cache so artefacts that share cells reuse each other's runs.
+Serial, parallel, and cached paths produce bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.analysis import CellStats
-from ..core.session import StreamingSession
 from ..video.encoding import VideoAsset, default_video
 from ..video.player import SessionResult
+from .parallel import SessionSpec, repetition_seeds, run_sessions
 
 #: The paper's repetition count.
 DEFAULT_REPETITIONS = 5
@@ -39,6 +46,52 @@ class CellResult:
         return f"{self.device} {self.resolution}@{self.fps} {self.pressure}"
 
 
+def cell_specs(
+    device: str = "nokia1",
+    resolution: str = "480p",
+    fps: int = 30,
+    pressure: str = "normal",
+    client: Optional[str] = None,
+    duration_s: float = 30.0,
+    repetitions: int = DEFAULT_REPETITIONS,
+    base_seed: int = 100,
+    asset: Optional[VideoAsset] = None,
+    organic_apps: int = 0,
+    abr: Any = None,
+) -> List[SessionSpec]:
+    """The session jobs for one cell, one per repetition."""
+    resolved_asset = asset or default_video(duration_s=duration_s)
+    return [
+        SessionSpec(
+            device=device,
+            resolution=resolution,
+            fps=fps,
+            pressure=pressure,
+            client=client,
+            duration_s=duration_s,
+            seed=seed,
+            organic_apps=organic_apps,
+            asset=resolved_asset,
+            abr=abr,
+        )
+        for seed in repetition_seeds(base_seed, repetitions)
+    ]
+
+
+def _cell_result(
+    specs: Sequence[SessionSpec], results: List[SessionResult]
+) -> CellResult:
+    first = specs[0]
+    return CellResult(
+        device=first.device,
+        resolution=first.resolution,
+        fps=first.fps,
+        pressure=first.pressure,
+        client=first.client or "firefox",
+        results=results,
+    )
+
+
 def run_cell(
     device: str = "nokia1",
     resolution: str = "480p",
@@ -51,28 +104,53 @@ def run_cell(
     asset: Optional[VideoAsset] = None,
     organic_apps: int = 0,
     abr=None,
+    jobs: Optional[int] = None,
+    cache: Any = None,
 ) -> CellResult:
-    """Run one cell ``repetitions`` times with distinct seeds."""
-    results = []
-    for rep in range(repetitions):
-        session = StreamingSession(
-            device=device,
-            asset=asset or default_video(duration_s=duration_s),
-            resolution=resolution,
-            frame_rate=fps,
-            pressure=pressure,
-            client=client,
-            duration_s=duration_s,
-            seed=base_seed + rep * 7919,
-            organic_apps=organic_apps,
-            abr=abr() if callable(abr) else abr,
-        )
-        results.append(session.run())
-    return CellResult(
+    """Run one cell ``repetitions`` times with distinct seeds.
+
+    ``jobs`` fans repetitions out over worker processes (None/1 =
+    serial, 0 = all cores); ``cache`` is None for the default on-disk
+    result cache, False to disable it, or a
+    :class:`~repro.experiments.parallel.ResultCache`.
+    """
+    specs = cell_specs(
         device=device,
         resolution=resolution,
         fps=fps,
         pressure=pressure,
-        client=client or "firefox",
-        results=results,
+        client=client,
+        duration_s=duration_s,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        asset=asset,
+        organic_apps=organic_apps,
+        abr=abr,
     )
+    results = run_sessions(specs, jobs=jobs, cache=cache)
+    return _cell_result(specs, results)
+
+
+def run_cells(
+    cells: Sequence[Dict[str, Any]],
+    jobs: Optional[int] = None,
+    cache: Any = None,
+) -> List[CellResult]:
+    """Run many cells through one fan-out: the unit of parallelism is
+    (cell × repetition), so a grid saturates ``jobs`` workers even when
+    each cell has few repetitions.
+
+    ``cells`` holds :func:`run_cell` keyword dicts; results come back
+    in cell order, repetitions in seed order — identical to calling
+    :func:`run_cell` on each dict serially.
+    """
+    per_cell = [cell_specs(**cell) for cell in cells]
+    flat: List[SessionSpec] = [spec for specs in per_cell for spec in specs]
+    flat_results = run_sessions(flat, jobs=jobs, cache=cache)
+    out: List[CellResult] = []
+    cursor = 0
+    for specs in per_cell:
+        chunk = flat_results[cursor:cursor + len(specs)]
+        cursor += len(specs)
+        out.append(_cell_result(specs, chunk))
+    return out

@@ -9,7 +9,7 @@ the full ~9950-hour study.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..study import analysis
 from ..study.generator import PopulationConfig, generate_population
@@ -21,10 +21,16 @@ def build_study(
     scale: float = 1.0,
     seed: int = 0,
     n_users: int = 80,
+    jobs: Optional[int] = None,
 ) -> List[DeviceLog]:
-    """Generate the population and apply the paper's cleaning step."""
+    """Generate the population and apply the paper's cleaning step.
+
+    ``jobs`` parallelizes device generation (see
+    :func:`repro.study.generator.generate_population`).
+    """
     population = generate_population(
-        PopulationConfig(n_users=n_users, hours_scale=scale, seed=seed)
+        PopulationConfig(n_users=n_users, hours_scale=scale, seed=seed),
+        jobs=jobs,
     )
     return analysis.clean(population, min_interactive_hours=10.0 * scale)
 

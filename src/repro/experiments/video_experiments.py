@@ -8,10 +8,10 @@ benches stay laptop-fast.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..video.encoding import paper_catalog
-from .runner import CellResult, run_cell
+from .runner import CellResult, run_cell, run_cells
 
 #: The paper's three pressure regimes for §4.3.
 PRESSURES = ("normal", "moderate", "critical")
@@ -27,12 +27,14 @@ def fig8_pss_by_encoding(
     frame_rates: Tuple[int, ...] = (30, 60),
     duration_s: float = 30.0,
     repetitions: int = 3,
+    jobs: Optional[int] = None,
+    cache: Any = None,
 ) -> Dict[Tuple[str, int], dict]:
     """Figure 8: client PSS vs resolution and frame rate, no pressure."""
-    table = {}
-    for resolution in resolutions:
-        for fps in frame_rates:
-            cell = run_cell(
+    keys = [(res, fps) for res in resolutions for fps in frame_rates]
+    cells = run_cells(
+        [
+            dict(
                 device=device,
                 resolution=resolution,
                 fps=fps,
@@ -40,13 +42,20 @@ def fig8_pss_by_encoding(
                 duration_s=duration_s,
                 repetitions=repetitions,
             )
-            mins = [r.pss_min_mb for r in cell.results]
-            maxs = [r.pss_max_mb for r in cell.results]
-            table[(resolution, fps)] = {
-                "mean_mb": cell.stats.mean_pss_mb,
-                "min_mb": min(mins) if mins else 0.0,
-                "max_mb": max(maxs) if maxs else 0.0,
-            }
+            for resolution, fps in keys
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    table = {}
+    for key, cell in zip(keys, cells):
+        mins = [r.pss_min_mb for r in cell.results]
+        maxs = [r.pss_max_mb for r in cell.results]
+        table[key] = {
+            "mean_mb": cell.stats.mean_pss_mb,
+            "min_mb": min(mins) if mins else 0.0,
+            "max_mb": max(maxs) if maxs else 0.0,
+        }
     return table
 
 
@@ -58,22 +67,37 @@ def drop_grid(
     duration_s: float = 30.0,
     repetitions: int = 3,
     client: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache: Any = None,
 ) -> Dict[Tuple[str, int, str], CellResult]:
-    """Frame-drop grid behind Figures 9/11/18/19."""
-    grid = {}
-    for resolution in resolutions:
-        for fps in frame_rates:
-            for pressure in pressures:
-                grid[(resolution, fps, pressure)] = run_cell(
-                    device=device,
-                    resolution=resolution,
-                    fps=fps,
-                    pressure=pressure,
-                    duration_s=duration_s,
-                    repetitions=repetitions,
-                    client=client,
-                )
-    return grid
+    """Frame-drop grid behind Figures 9/11/18/19.
+
+    The whole grid fans out as one (cell × repetition) batch, so
+    ``jobs`` workers stay saturated across cell boundaries.
+    """
+    keys = [
+        (resolution, fps, pressure)
+        for resolution in resolutions
+        for fps in frame_rates
+        for pressure in pressures
+    ]
+    cells = run_cells(
+        [
+            dict(
+                device=device,
+                resolution=resolution,
+                fps=fps,
+                pressure=pressure,
+                duration_s=duration_s,
+                repetitions=repetitions,
+                client=client,
+            )
+            for resolution, fps, pressure in keys
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    return dict(zip(keys, cells))
 
 
 def fig9_drops_nokia1(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
@@ -98,12 +122,18 @@ def crash_table(
     duration_s: float = 30.0,
     repetitions: int = 5,
     client: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache: Any = None,
 ) -> Dict[Tuple[int, str, str], float]:
     """Crash-rate table: {(fps, resolution, pressure): crash fraction}."""
-    table = {}
-    for fps, resolution in cells:
-        for pressure in pressures:
-            cell = run_cell(
+    keys = [
+        (fps, resolution, pressure)
+        for fps, resolution in cells
+        for pressure in pressures
+    ]
+    results = run_cells(
+        [
+            dict(
                 device=device,
                 resolution=resolution,
                 fps=fps,
@@ -112,8 +142,14 @@ def crash_table(
                 repetitions=repetitions,
                 client=client,
             )
-            table[(fps, resolution, pressure)] = cell.stats.crash_rate
-    return table
+            for fps, resolution, pressure in keys
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    return {
+        key: cell.stats.crash_rate for key, cell in zip(keys, results)
+    }
 
 
 #: Table 2's cells on the Nokia 1.
@@ -137,24 +173,35 @@ def fig12_genres(
     pressures: Tuple[str, ...] = PRESSURES,
     duration_s: float = 30.0,
     repetitions: int = 2,
+    jobs: Optional[int] = None,
+    cache: Any = None,
 ) -> Dict[Tuple[str, str, int, str], CellResult]:
     """Figure 12: drops across the five genre videos on the Nexus 5."""
     catalog = paper_catalog(duration_s=duration_s)
-    grid = {}
-    for genre, asset in catalog.items():
-        for resolution in resolutions:
-            for fps in frame_rates:
-                for pressure in pressures:
-                    grid[(genre, resolution, fps, pressure)] = run_cell(
-                        device=device,
-                        resolution=resolution,
-                        fps=fps,
-                        pressure=pressure,
-                        duration_s=duration_s,
-                        repetitions=repetitions,
-                        asset=asset,
-                    )
-    return grid
+    keys = [
+        (genre, resolution, fps, pressure)
+        for genre in catalog
+        for resolution in resolutions
+        for fps in frame_rates
+        for pressure in pressures
+    ]
+    results = run_cells(
+        [
+            dict(
+                device=device,
+                resolution=resolution,
+                fps=fps,
+                pressure=pressure,
+                duration_s=duration_s,
+                repetitions=repetitions,
+                asset=catalog[genre],
+            )
+            for genre, resolution, fps, pressure in keys
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    return dict(zip(keys, results))
 
 
 def fig18_exoplayer(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
@@ -172,21 +219,28 @@ def fig19_chrome(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
 def organic_spotcheck(
     duration_s: float = 30.0,
     repetitions: int = 3,
+    jobs: Optional[int] = None,
+    cache: Any = None,
 ) -> Dict[str, CellResult]:
     """§4.3's organic-pressure comparison: 480p 60 FPS on the Nokia 1,
     Normal (no background apps) versus Moderate (8 background apps)."""
-    return {
-        "normal": run_cell(
-            device="nokia1", resolution="480p", fps=60,
-            pressure="normal", duration_s=duration_s,
-            repetitions=repetitions,
-        ),
-        "organic_moderate": run_cell(
-            device="nokia1", resolution="480p", fps=60,
-            pressure="normal", duration_s=duration_s,
-            repetitions=repetitions, organic_apps=8,
-        ),
-    }
+    cells = run_cells(
+        [
+            dict(
+                device="nokia1", resolution="480p", fps=60,
+                pressure="normal", duration_s=duration_s,
+                repetitions=repetitions,
+            ),
+            dict(
+                device="nokia1", resolution="480p", fps=60,
+                pressure="normal", duration_s=duration_s,
+                repetitions=repetitions, organic_apps=8,
+            ),
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    return {"normal": cells[0], "organic_moderate": cells[1]}
 
 
 def summarize_drop_grid(

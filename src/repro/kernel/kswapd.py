@@ -41,14 +41,16 @@ class Kswapd:
             return
         self.active = True
         self.manager.vmstat.kswapd_wakeups += 1
-        self.sim.emit("kswapd.wake")
+        if self.sim.tracing:
+            self.sim.emit("kswapd.wake")
         self._balance()
 
     def _balance(self) -> None:
         state = self.manager.state
         if state.above_high:
             self.active = False
-            self.sim.emit("kswapd.sleep")
+            if self.sim.tracing:
+                self.sim.emit("kswapd.sleep")
             return
         plan = build_plan(
             self.manager.table.alive,

@@ -170,7 +170,8 @@ class MemoryManager:
                 "with no thread to perform direct reclaim"
             )
         self.vmstat.allocstall += 1
-        self.sim.emit("alloc.stall", process=process, pages=pages)
+        if self.sim.tracing:
+            self.sim.emit("alloc.stall", process=process, pages=pages)
         self._direct_reclaim(process, thread, pages, kind, hot_fraction, on_granted)
         return False
 

@@ -96,7 +96,8 @@ class Mmcqd:
 
     def _finish(self, request: IoRequest) -> None:
         self.completed_requests += 1
-        self.sim.emit("io.complete", kind=request.kind, pages=request.pages)
+        if self.sim.tracing:
+            self.sim.emit("io.complete", kind=request.kind, pages=request.pages)
         if request.on_complete is not None:
             request.on_complete()
         self._issue_next()

@@ -169,6 +169,9 @@ class Scheduler:
         self._runqueues: Dict[SchedClass, Deque[Thread]] = {
             cls: deque() for cls in SchedClass
         }
+        # Priority-ordered view of the runqueues: hot paths index this
+        # tuple instead of hashing SchedClass members on every dispatch.
+        self._rq: tuple = tuple(self._runqueues[cls] for cls in SchedClass)
         self.context_switches = 0
         self.preemption_count = 0
 
@@ -253,7 +256,8 @@ class Scheduler:
         ):
             self._transition(thread, ThreadState.RUNNABLE)
             self._runqueues[thread.sched_class].append(thread)
-            self.sim.emit("sched.wakeup", thread=thread)
+            if self.sim.tracing:
+                self.sim.emit("sched.wakeup", thread=thread)
         self._dispatch()
 
     def _transition(self, thread: Thread, new_state: ThreadState) -> None:
@@ -261,7 +265,8 @@ class Scheduler:
         if old is new_state:
             return
         thread.accounting.switch(new_state, self.sim.now)
-        self.sim.emit("sched.state", thread=thread, old=old, new=new_state)
+        if self.sim.tracing:
+            self.sim.emit("sched.state", thread=thread, old=old, new=new_state)
 
     def _core_of(self, thread: Thread) -> Core:
         for core in self.cores:
@@ -277,15 +282,13 @@ class Scheduler:
             pass
 
     def _next_runnable(self) -> Optional[Thread]:
-        for cls in SchedClass:
-            queue = self._runqueues[cls]
+        for queue in self._rq:
             if queue:
                 return queue[0]
         return None
 
     def _take_runnable(self) -> Optional[Thread]:
-        for cls in SchedClass:
-            queue = self._runqueues[cls]
+        for queue in self._rq:
             if queue:
                 return queue.popleft()
         return None
@@ -298,15 +301,22 @@ class Scheduler:
         fastest idle core the thread's affinity mask allows."""
         if thread.last_core is not None:
             previous = self.cores[thread.last_core]
-            if previous.idle and self._allowed(thread, previous):
+            if previous.current is None and self._allowed(thread, previous):
                 return previous
-        idle = [
-            core for core in self.cores
-            if core.idle and self._allowed(thread, core)
-        ]
-        if not idle:
-            return None
-        return max(idle, key=lambda core: (core.freq_ghz, -core.index))
+        allowed = thread.allowed_cores
+        best: Optional[Core] = None
+        for core in self.cores:
+            if core.current is not None:
+                continue
+            if allowed is not None and core.index not in allowed:
+                continue
+            if (
+                best is None
+                or core.freq_ghz > best.freq_ghz
+                or (core.freq_ghz == best.freq_ghz and core.index < best.index)
+            ):
+                best = core
+        return best
 
     def _dispatch(self) -> None:
         """Fill idle cores, then preempt lower-class threads if needed.
@@ -319,19 +329,23 @@ class Scheduler:
         placed = True
         while placed:
             placed = False
-            for cls in SchedClass:
-                for thread in list(self._runqueues[cls]):
+            for queue in self._rq:
+                # Iterating the live deque is safe: the loop breaks
+                # immediately after any mutation (remove/preempt/start).
+                for thread in queue:
                     core = self._pick_core(thread)
                     if core is None:
-                        victim_core = self._preemption_victim(cls, thread)
+                        victim_core = self._preemption_victim(
+                            thread.sched_class, thread
+                        )
                         if victim_core is None:
                             if thread.allowed_cores is None:
                                 return
                             continue  # affinity-blocked: try the next
-                        self._runqueues[cls].remove(thread)
+                        queue.remove(thread)
                         self._preempt(victim_core, thread)
                     else:
-                        self._runqueues[cls].remove(thread)
+                        queue.remove(thread)
                         self._start_slice(thread, core)
                     placed = True
                     break
@@ -371,10 +385,11 @@ class Scheduler:
         self.preemption_count += 1
         self._runqueues[victim.sched_class].append(victim)
         core.current = None
-        self.sim.emit(
-            "sched.preempt", victim=victim, victor=victor, core=core.index,
-            kind="preempt",
-        )
+        if self.sim.tracing:
+            self.sim.emit(
+                "sched.preempt", victim=victim, victor=victor, core=core.index,
+                kind="preempt",
+            )
         self._start_slice(victor, core)
 
     def _start_slice(self, thread: Thread, core: Core) -> None:
@@ -388,18 +403,20 @@ class Scheduler:
             return
         if thread.last_core is not None and thread.last_core != core.index:
             thread.migrations += 1
-            self.sim.emit(
-                "sched.migrate",
-                thread=thread,
-                src=thread.last_core,
-                dst=core.index,
-            )
+            if self.sim.tracing:
+                self.sim.emit(
+                    "sched.migrate",
+                    thread=thread,
+                    src=thread.last_core,
+                    dst=core.index,
+                )
         thread.last_core = core.index
         core.current = thread
         core.slice_started = self.sim.now
         self._transition(thread, ThreadState.RUNNING)
         self.context_switches += 1
-        self.sim.emit("sched.switch", thread=thread, core=core.index)
+        if self.sim.tracing:
+            self.sim.emit("sched.switch", thread=thread, core=core.index)
         self._arm_slice_end(core)
 
     def _arm_slice_end(self, core: Core) -> None:
@@ -477,10 +494,11 @@ class Scheduler:
             thread.preemptions_suffered += 1
             self.preemption_count += 1
             self._runqueues[thread.sched_class].append(thread)
-            self.sim.emit(
-                "sched.preempt", victim=thread, victor=waiter, core=core.index,
-                kind="rotate",
-            )
+            if self.sim.tracing:
+                self.sim.emit(
+                    "sched.preempt", victim=thread, victor=waiter,
+                    core=core.index, kind="rotate",
+                )
         else:
             # Out of CPU work: block on IO, or sleep.
             self._transition(thread, ThreadState.SLEEPING)

@@ -36,6 +36,10 @@ class Simulator:
         self._queue = EventQueue()
         self._stopped = False
         self._hooks: Dict[str, List[Callable[..., None]]] = {}
+        #: True once any subscriber has registered.  Hot call sites
+        #: check this before building an emit payload so instrumentation
+        #: costs nothing when nobody is listening (the common case).
+        self.tracing = False
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -70,7 +74,7 @@ class Simulator:
         """Cancel a previously-scheduled event; None is accepted and ignored."""
         if event is not None and not event.cancelled:
             event.cancel()
-            self._queue.note_cancelled()
+            self._queue.note_cancelled(event)
 
     # ------------------------------------------------------------------
     # Running
@@ -83,16 +87,31 @@ class Simulator:
         last event fired earlier, so back-to-back ``run`` calls tile time.
         """
         self._stopped = False
+        queue = self._queue
+        pop_ready = queue.pop_ready
         while not self._stopped:
-            next_time = self._queue.peek_time()
-            if next_time is None:
+            batch = pop_ready(until)
+            if batch is None:
                 break
-            if until is not None and next_time > until:
-                break
-            event = self._queue.pop()
-            assert event is not None
-            self.now = event.time
-            event.fn(*event.args)
+            first = batch[0]
+            self.now = first.time
+            # The head of a batch cannot have been cancelled (nothing
+            # ran between pop and here), so fire it unconditionally.
+            first.fn(*first.args)
+            size = len(batch)
+            if size > 1:
+                index = 1
+                while index < size and not self._stopped:
+                    event = batch[index]
+                    # Later members may have been cancelled by an
+                    # earlier event in this same batch.
+                    if not event.cancelled:
+                        event.fn(*event.args)
+                    index += 1
+                if index < size:  # stopped mid-batch: keep the rest
+                    for later in batch[index:]:
+                        if not later.cancelled:
+                            queue.requeue(later)
         if until is not None and self.now < until and not self._stopped:
             self.now = until
         return self.now
@@ -112,8 +131,15 @@ class Simulator:
     def on(self, topic: str, callback: Callable[..., None]) -> None:
         """Subscribe ``callback`` to ``topic`` (see :meth:`emit`)."""
         self._hooks.setdefault(topic, []).append(callback)
+        self.tracing = True
 
     def emit(self, topic: str, **payload: Any) -> None:
         """Publish an instrumentation event to all ``topic`` subscribers."""
-        for callback in self._hooks.get(topic, ()):
-            callback(time=self.now, **payload)
+        if not self.tracing:
+            return
+        hooks = self._hooks.get(topic)
+        if not hooks:
+            return
+        now = self.now
+        for callback in hooks:
+            callback(time=now, **payload)

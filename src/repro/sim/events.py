@@ -5,13 +5,24 @@ Events at the same instant fire in scheduling order (FIFO), which the
 sequence number guarantees.  Cancellation is O(1): the event is flagged
 and skipped when it reaches the head of the queue, the standard "lazy
 deletion" idiom for heap-backed schedulers.
+
+The heap stores ``(time, seq, event)`` triples rather than bare events:
+heap sift compares the integer key pair directly on the C fast path
+instead of dispatching into a Python-level ``Event.__lt__``, and ``seq``
+uniqueness guarantees the comparison never reaches the event object.
+
+Live-count accounting lives on the event itself (:attr:`Event.counted`):
+an event leaves the live count exactly once — when it is popped, or when
+its cancellation is first accounted — no matter how many code paths
+(``cancel``, lazy discard in ``pop``/``peek_time``, external
+``note_cancelled``) observe it.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from .clock import Time
 
@@ -23,7 +34,7 @@ class Event:
     user code holds them only to call :meth:`cancel`.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "label")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "label", "counted")
 
     def __init__(
         self,
@@ -39,13 +50,12 @@ class Event:
         self.args = args
         self.cancelled = False
         self.label = label
+        #: True once this event has left the queue's live count.
+        self.counted = False
 
     def cancel(self) -> None:
         """Prevent this event from firing; safe to call more than once."""
         self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -57,12 +67,18 @@ class EventQueue:
     """Min-heap of events ordered by (time, sequence)."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[Time, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
 
     def __len__(self) -> int:
         return self._live
+
+    def _discount(self, event: Event) -> None:
+        """Remove ``event`` from the live count exactly once."""
+        if not event.counted:
+            event.counted = True
+            self._live -= 1
 
     def push(
         self,
@@ -72,35 +88,87 @@ class EventQueue:
         label: str = "",
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time`` and return the event."""
-        event = Event(time, next(self._counter), fn, args, label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, seq, fn, args, label)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
+
+    def requeue(self, event: Event) -> None:
+        """Reinsert a popped-but-unfired event (engine stop mid-batch)."""
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        if not event.cancelled:
+            event.counted = False
+            self._live += 1
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or None when empty.
 
         Cancelled events are discarded transparently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
+            self._discount(event)
+            if not event.cancelled:
+                return event
+        return None
+
+    def pop_ready(self, until: Optional[Time] = None) -> Optional[List[Event]]:
+        """Drain and return every live event at the earliest pending
+        timestamp, provided that timestamp is <= ``until``.
+
+        Returns None when the queue is empty or the next event lies
+        beyond the horizon.  Because no callbacks run while the batch is
+        collected, and anything scheduled *by* a batch callback at the
+        same instant gets a strictly larger sequence number, firing the
+        returned events in list order preserves exact (time, seq) order.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            head_time, _, head = heap[0]
+            if head.cancelled:
+                pop(heap)
+                self._discount(head)
                 continue
+            if until is not None and head_time > until:
+                return None
+            pop(heap)
+            # A live heap entry is never pre-counted (requeue resets the
+            # flag), so the exactly-once bookkeeping inlines to two ops.
+            head.counted = True
             self._live -= 1
-            return event
-        self._live = 0
+            batch = [head]
+            while heap and heap[0][0] == head_time:
+                event = pop(heap)[2]
+                if event.cancelled:
+                    self._discount(event)
+                else:
+                    event.counted = True
+                    self._live -= 1
+                    batch.append(event)
+            return batch
         return None
 
     def peek_time(self) -> Optional[Time]:
         """Return the time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            self._live = 0
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            head = heap[0][2]
+            if not head.cancelled:
+                return head.time
+            heapq.heappop(heap)
+            self._discount(head)
+        return None
 
-    def note_cancelled(self) -> None:
-        """Account for one externally-cancelled event (keeps len() honest)."""
-        if self._live > 0:
-            self._live -= 1
+    def note_cancelled(self, event: Event) -> None:
+        """Account for one externally-cancelled event (keeps len() honest).
+
+        Accounting is tracked on the event itself, so the call is exact
+        even when the lazy-deletion machinery already discarded the
+        event from the heap (or a batch pop already counted it) —
+        double-decrements are impossible by construction.
+        """
+        if event.cancelled:
+            self._discount(event)

@@ -96,3 +96,49 @@ def test_pending_events_counts_live_only():
     assert sim.pending_events == 2
     sim.cancel(event)
     assert sim.pending_events == 1
+
+
+def test_stop_mid_batch_requeues_same_time_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, fired.append, "a")
+    sim.schedule(5, sim.stop)
+    sim.schedule(5, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_cancel_within_same_time_batch():
+    sim = Simulator()
+    fired = []
+    victim = sim.schedule(5, fired.append, "victim")
+    sim.schedule(5, lambda: sim.cancel(victim))
+    sim.schedule(5, fired.append, "after")
+    # FIFO order means the canceller runs between the other two... but
+    # `victim` was scheduled first, so it fires before cancellation.
+    sim.run()
+    assert fired == ["victim", "after"]
+    assert sim.pending_events == 0
+
+
+def test_cancel_later_batch_member_before_it_fires():
+    sim = Simulator()
+    fired = []
+    victim_box = []
+    sim.schedule(5, lambda: sim.cancel(victim_box[0]))
+    victim_box.append(sim.schedule(5, fired.append, "victim"))
+    sim.schedule(5, fired.append, "after")
+    sim.run()
+    assert fired == ["after"]
+    assert sim.pending_events == 0
+
+
+def test_emit_skips_work_with_no_subscribers():
+    sim = Simulator()
+    assert sim.tracing is False
+    sim.emit("nobody.listens", value=1)  # must be a cheap no-op
+    sim.on("topic", lambda time: None)
+    assert sim.tracing is True

@@ -35,7 +35,7 @@ def test_cancelled_events_are_skipped():
     keep = queue.push(1, noop)
     drop = queue.push(2, noop)
     drop.cancel()
-    queue.note_cancelled()
+    queue.note_cancelled(drop)
     last = queue.push(3, noop)
     assert queue.pop() is keep
     assert queue.pop() is last
@@ -48,7 +48,7 @@ def test_len_tracks_live_events():
     event = queue.push(2, noop)
     assert len(queue) == 2
     event.cancel()
-    queue.note_cancelled()
+    queue.note_cancelled(event)
     assert len(queue) == 1
 
 
@@ -57,5 +57,85 @@ def test_peek_time_skips_cancelled_head():
     head = queue.push(1, noop)
     queue.push(2, noop)
     head.cancel()
-    queue.note_cancelled()
+    queue.note_cancelled(head)
     assert queue.peek_time() == 2
+
+
+def test_note_cancelled_after_peek_discard_does_not_double_decrement():
+    """Regression: peek_time lazily discards a cancelled head from the
+    heap; a later note_cancelled for the same event must not decrement
+    the live count a second time."""
+    queue = EventQueue()
+    head = queue.push(1, noop)
+    keep = queue.push(2, noop)
+    head.cancel()  # cancelled directly, without telling the queue yet
+    assert queue.peek_time() == 2  # discards `head` from the heap
+    assert len(queue) == 1
+    queue.note_cancelled(head)  # late accounting: must be a no-op now
+    assert len(queue) == 1
+    assert queue.pop() is keep
+    assert len(queue) == 0
+
+
+def test_note_cancelled_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1, noop)
+    queue.push(2, noop)
+    event.cancel()
+    queue.note_cancelled(event)
+    queue.note_cancelled(event)
+    assert len(queue) == 1
+
+
+def test_directly_cancelled_event_accounted_on_pop():
+    """An event cancelled without note_cancelled leaves the live count
+    when the lazy-deletion discard finally sees it."""
+    queue = EventQueue()
+    drop = queue.push(1, noop)
+    keep = queue.push(2, noop)
+    drop.cancel()
+    assert len(queue) == 2  # queue not yet told
+    assert queue.pop() is keep  # discards `drop` on the way
+    assert len(queue) == 0
+
+
+def test_pop_ready_returns_same_time_batch():
+    queue = EventQueue()
+    a = queue.push(5, noop, label="a")
+    b = queue.push(5, noop, label="b")
+    c = queue.push(7, noop, label="c")
+    batch = queue.pop_ready()
+    assert batch == [a, b]
+    assert len(queue) == 1
+    assert queue.pop_ready() == [c]
+    assert queue.pop_ready() is None
+
+
+def test_pop_ready_respects_horizon():
+    queue = EventQueue()
+    queue.push(10, noop)
+    assert queue.pop_ready(until=9) is None
+    assert len(queue) == 1
+    batch = queue.pop_ready(until=10)
+    assert [event.time for event in batch] == [10]
+
+
+def test_pop_ready_skips_cancelled_within_batch():
+    queue = EventQueue()
+    a = queue.push(5, noop)
+    b = queue.push(5, noop)
+    c = queue.push(5, noop)
+    b.cancel()
+    assert queue.pop_ready() == [a, c]
+    assert len(queue) == 0
+
+
+def test_requeue_restores_live_count_and_order():
+    queue = EventQueue()
+    a = queue.push(5, noop, label="a")
+    b = queue.push(5, noop, label="b")
+    batch = queue.pop_ready()
+    assert batch == [a, b]
+    queue.requeue(b)
+    assert len(queue) == 1
+    assert queue.pop() is b
