@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main entry points::
+Five subcommands mirror the library's main entry points::
 
-    repro run    --device nokia1 --resolution 720p --fps 60 --pressure moderate
-    repro sweep  --devices nokia1,nexus5 --pressures normal,critical
-    repro study  --scale 0.15 --seed 3
-    repro trace  --pressure moderate --duration 25
+    repro run      --device nokia1 --resolution 720p --fps 60 --pressure moderate
+    repro sweep    --devices nokia1,nexus5 --pressures normal,critical
+    repro study    --scale 0.15 --seed 3
+    repro trace    --pressure moderate --duration 25
+    repro validate --level deep
 
 Every subcommand prints a human-readable report by default; ``--json``
 emits machine-readable output instead (for notebooks and dashboards).
@@ -185,6 +186,39 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .validate.runner import run_validation
+
+    report = run_validation(
+        level=args.level,
+        jobs=args.jobs,
+        update_golden=args.update_golden,
+        cache=False if args.no_cache else None,
+    )
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2))
+        return 0 if report.passed else 1
+    for name, violations in sorted(report.violations.items()):
+        status = "clean" if not violations else f"{len(violations)} violation(s)"
+        print(f"invariants {name:8s} {status}")
+        for violation in violations:
+            print(f"    {violation}")
+    for name, problems in sorted(report.golden.items()):
+        if report.updated_golden:
+            print(f"golden     {name:8s} rewritten")
+        elif not problems:
+            print(f"golden     {name:8s} match")
+        else:
+            print(f"golden     {name:8s} DRIFT")
+            for problem in problems:
+                print(f"    {problem}")
+    for oracle in report.oracles:
+        verdict = "pass" if oracle.passed else "FAIL"
+        print(f"oracle     {oracle.name:24s} {verdict}  ({oracle.detail})")
+    print("validation PASSED" if report.passed else "validation FAILED")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -249,6 +283,24 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--top", type=int, default=8)
     trace_p.add_argument("--json", action="store_true")
     trace_p.set_defaults(func=cmd_trace)
+
+    validate_p = sub.add_parser(
+        "validate",
+        help="invariant checks, golden traces, metamorphic oracles",
+    )
+    validate_p.add_argument("--level", default="basic",
+                            choices=["basic", "deep"],
+                            help="deep runs more oracle repetitions")
+    validate_p.add_argument("--jobs", type=int, default=1,
+                            help="fan oracle sessions over N worker "
+                                 "processes (0 = all cores)")
+    validate_p.add_argument("--update-golden", action="store_true",
+                            help="rewrite tests/golden/ digests instead of "
+                                 "comparing against them")
+    validate_p.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk session result cache")
+    validate_p.add_argument("--json", action="store_true")
+    validate_p.set_defaults(func=cmd_validate)
 
     return parser
 

@@ -67,6 +67,7 @@ class StreamingSession:
         seed: int = 0,
         abr=None,
         organic_apps: int = 0,
+        validate: bool = False,
     ) -> None:
         if isinstance(device, str):
             if device not in DEVICE_FACTORIES:
@@ -93,6 +94,13 @@ class StreamingSession:
         )
         self.mpsim: Optional[MPSimulator] = None
         self.background: Optional[BackgroundWorkload] = None
+        self.harness = None
+        if validate:
+            # Imported lazily: repro.validate pulls in the experiment
+            # fabric, which imports this module.
+            from ..validate.checkers import ValidationHarness
+
+            self.harness = ValidationHarness(device)
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -129,4 +137,6 @@ class StreamingSession:
             # Horizon hit (pathological stall): finalize what we have.
             self.player.pipeline.stop()
             self.player._finalize()
+        if self.harness is not None:
+            self.harness.finalize()
         return self.player.result

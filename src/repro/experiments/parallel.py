@@ -41,7 +41,8 @@ from ..video.player import SessionResult
 
 #: Bump when SessionResult, the simulator, or any model changes in a
 #: way that alters results: old cache entries then stop matching.
-SCHEMA_VERSION = 1
+#: 2: SessionResult gained lmkd_kills/oom_kills (validation subsystem).
+SCHEMA_VERSION = 2
 
 #: Seed stride between repetitions of a cell (a prime, so overlapping
 #: sweeps with different base seeds rarely collide).

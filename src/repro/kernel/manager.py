@@ -399,6 +399,13 @@ class MemoryManager:
                 )
 
         self.vmstat.record_scan(self.sim.now, plan.scanned, freed_now)
+        if self.sim.tracing:
+            self.sim.emit(
+                "memory.plan",
+                manager=self,
+                freed=freed_now,
+                writeback=dirty_scheduled,
+            )
         if freed_now > 0:
             self._wake_memory_waiters()
         return freed_now, dirty_scheduled

@@ -107,8 +107,13 @@ class PressureMonitor:
         """Recompute the level; emit a signal on escalation or change."""
         new_level = self._compute_level()
         if new_level != self.level:
+            previous = self.level
             self.level = new_level
             self.state_log.append((self.sim.now, new_level))
+            if self.sim.tracing:
+                self.sim.emit(
+                    "pressure.state", level=new_level, previous=previous
+                )
             if new_level > MemoryPressureLevel.NORMAL:
                 self._emit(new_level)
         elif (

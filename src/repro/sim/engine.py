@@ -100,9 +100,14 @@ class Simulator:
             first.fn(*first.args)
             size = len(batch)
             if size > 1:
+                retire = queue.retire
                 index = 1
                 while index < size and not self._stopped:
                     event = batch[index]
+                    # Retire the member as we reach it: an event whose
+                    # cancellation was accounted mid-batch is a no-op
+                    # here, any other leaves the live count now.
+                    retire(event)
                     # Later members may have been cancelled by an
                     # earlier event in this same batch.
                     if not event.cancelled:
@@ -110,7 +115,9 @@ class Simulator:
                     index += 1
                 if index < size:  # stopped mid-batch: keep the rest
                     for later in batch[index:]:
-                        if not later.cancelled:
+                        if later.cancelled:
+                            retire(later)
+                        else:
                             queue.requeue(later)
         if until is not None and self.now < until and not self._stopped:
             self.now = until

@@ -12,10 +12,21 @@ instead of dispatching into a Python-level ``Event.__lt__``, and ``seq``
 uniqueness guarantees the comparison never reaches the event object.
 
 Live-count accounting lives on the event itself (:attr:`Event.counted`):
-an event leaves the live count exactly once — when it is popped, or when
-its cancellation is first accounted — no matter how many code paths
-(``cancel``, lazy discard in ``pop``/``peek_time``, external
-``note_cancelled``) observe it.
+an event leaves the live count exactly once — when it is *retired*
+(fired, or its cancellation first accounted) — no matter how many code
+paths (``cancel``, lazy discard in ``pop``/``peek_time``, external
+``note_cancelled``, the engine's batch loop) observe it.
+
+A subtlety worth spelling out: :meth:`EventQueue.pop_ready` drains every
+live event at one timestamp *before* any of them runs, but only the
+head — which fires immediately, nothing can run in between — leaves the
+live count at pop time.  The rest of the batch remains counted until
+the engine retires each member as it reaches it.  This keeps
+``len(queue)`` (and ``Simulator.pending_events``) exact from the
+perspective of a batch callback: same-timestamp events that have been
+popped but not yet fired are still pending, and cancelling one of them
+mid-batch (``note_cancelled``) adjusts the count immediately instead of
+silently no-opping against a pre-counted event.
 """
 
 from __future__ import annotations
@@ -95,11 +106,24 @@ class EventQueue:
         return event
 
     def requeue(self, event: Event) -> None:
-        """Reinsert a popped-but-unfired event (engine stop mid-batch)."""
+        """Reinsert a popped-but-unfired event (engine stop mid-batch).
+
+        Unfired batch members never left the live count (only the batch
+        head is counted at pop), so reinsertion usually touches the heap
+        alone; the count is restored only for an event that was already
+        retired (a defensive case no engine path currently produces).
+        """
         heapq.heappush(self._heap, (event.time, event.seq, event))
-        if not event.cancelled:
+        if not event.cancelled and event.counted:
             event.counted = False
             self._live += 1
+
+    def retire(self, event: Event) -> None:
+        """Remove a popped batch member from the live count (exactly
+        once).  The engine calls this as it reaches each member of a
+        ``pop_ready`` batch — fired or found cancelled — so the count
+        stays exact at every callback boundary."""
+        self._discount(event)
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or None when empty.
@@ -123,6 +147,12 @@ class EventQueue:
         collected, and anything scheduled *by* a batch callback at the
         same instant gets a strictly larger sequence number, firing the
         returned events in list order preserves exact (time, seq) order.
+
+        Only the head leaves the live count here (it fires before any
+        callback can observe the queue).  Later members stay counted —
+        they are still pending from the caller's perspective — and the
+        engine retires them one by one via :meth:`retire` as it fires or
+        skips them.
         """
         heap = self._heap
         pop = heapq.heappop
@@ -145,8 +175,6 @@ class EventQueue:
                 if event.cancelled:
                     self._discount(event)
                 else:
-                    event.counted = True
-                    self._live -= 1
                     batch.append(event)
             return batch
         return None

@@ -1,0 +1,42 @@
+"""Simulation validation: invariant checkers, oracles, golden traces.
+
+See :mod:`repro.validate.checkers` for the runtime invariant layer,
+:mod:`repro.validate.oracles` for the metamorphic properties, and
+:mod:`repro.validate.golden` for the golden-trace regression digests.
+``repro validate`` (CLI) drives all three via
+:func:`repro.validate.runner.run_validation`.
+"""
+
+from .checkers import (
+    Checker,
+    InvariantViolation,
+    PageConservationChecker,
+    PressureOrderingChecker,
+    SchedulerSanityChecker,
+    ValidationHarness,
+    VideoPipelineChecker,
+    Violation,
+    inject_accounting_fault,
+)
+from .golden import CANONICAL_SESSIONS, check_golden, session_digest
+from .oracles import OracleOutcome, run_oracles
+from .runner import ValidationReport, run_validation
+
+__all__ = [
+    "CANONICAL_SESSIONS",
+    "Checker",
+    "InvariantViolation",
+    "OracleOutcome",
+    "PageConservationChecker",
+    "PressureOrderingChecker",
+    "SchedulerSanityChecker",
+    "ValidationHarness",
+    "ValidationReport",
+    "VideoPipelineChecker",
+    "Violation",
+    "check_golden",
+    "inject_accounting_fault",
+    "run_oracles",
+    "run_validation",
+    "session_digest",
+]

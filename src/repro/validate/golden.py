@@ -1,0 +1,158 @@
+"""Golden-trace regression: compact digests of canonical sessions.
+
+Three canonical sessions — one per paper device, spanning the pressure
+range — run with the invariant harness attached, and their results are
+reduced to a digest: frame counts, crash/kill outcomes, rounded PSS
+statistics, and a SHA-256 over the full FPS/PSS/signal series.  The
+digests live under ``tests/golden/`` (one JSON file per device) and CI
+fails on any drift, so a change that moves simulation results must
+refresh them deliberately (``repro validate --update-golden``) and
+explain why in the same commit.
+
+Digests are intentionally *compact*: they pin behaviour without
+committing megabytes of trace, and the per-field breakdown makes drift
+reports readable (a changed kill count reads differently from a changed
+series hash).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.session import StreamingSession
+from ..video.player import SessionResult
+
+#: Environment override for the golden-digest directory (tests).
+GOLDEN_DIR_ENV = "REPRO_GOLDEN_DIR"
+
+#: One canonical session per device profile.  Moderate pressure on the
+#: small-RAM devices exercises the reclaim/kill machinery; the 3 GB
+#: Nexus 6P at normal pressure pins the clean-playback path.
+CANONICAL_SESSIONS: Dict[str, dict] = {
+    "nokia1": dict(
+        device="nokia1", resolution="480p", frame_rate=30,
+        pressure="moderate", duration_s=15.0, seed=1021,
+    ),
+    "nexus5": dict(
+        device="nexus5", resolution="720p", frame_rate=30,
+        pressure="moderate", duration_s=15.0, seed=1021,
+    ),
+    "nexus6p": dict(
+        device="nexus6p", resolution="1080p", frame_rate=30,
+        pressure="normal", duration_s=15.0, seed=1021,
+    ),
+}
+
+
+def golden_dir() -> Path:
+    env = os.environ.get(GOLDEN_DIR_ENV)
+    if env:
+        return Path(env)
+    # src/repro/validate/golden.py -> repo root is three levels up.
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def session_digest(result: SessionResult) -> Dict[str, object]:
+    """Reduce a session result to its regression digest."""
+    series = {
+        "fps": [round(v, 6) for v in result.fps_series],
+        "pss": [[round(t, 6), round(v, 6)] for t, v in result.pss_series],
+        "signals": [[round(t, 6), level.name] for t, level in result.signals],
+        "bitrates": list(result.played_bitrates_kbps),
+    }
+    blob = json.dumps(series, sort_keys=True, separators=(",", ":"))
+    return {
+        "device": result.device_name,
+        "resolution": result.resolution,
+        "fps": result.fps,
+        "frames_processed": result.frames_processed,
+        "frames_rendered": result.frames_rendered,
+        "dropped_decode_late": result.dropped_decode_late,
+        "dropped_render_late": result.dropped_render_late,
+        "dropped_skipped": result.dropped_skipped,
+        "crashed": result.crashed,
+        "crash_reason": result.crash_reason,
+        "lmkd_kills": result.lmkd_kills,
+        "oom_kills": result.oom_kills,
+        "signals": len(result.signals),
+        "rebuffer_s": round(result.rebuffer_s, 6),
+        "wall_span_s": round(result.wall_span_s, 6),
+        "pss_mean_mb": round(result.pss_mean_mb, 3),
+        "pss_max_mb": round(result.pss_max_mb, 3),
+        "series_sha256": hashlib.sha256(blob.encode()).hexdigest(),
+    }
+
+
+def run_canonical_session(name: str, validate: bool = True) -> SessionResult:
+    """Run one canonical session (invariant-checked by default)."""
+    params = CANONICAL_SESSIONS[name]
+    session = StreamingSession(validate=validate, **params)
+    result = session.run()
+    return result
+
+
+def compute_digest(name: str, validate: bool = True) -> Dict[str, object]:
+    return session_digest(run_canonical_session(name, validate=validate))
+
+
+def load_digest(name: str) -> Optional[Dict[str, object]]:
+    path = golden_dir() / f"{name}.json"
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+
+
+def write_digest(name: str, digest: Dict[str, object]) -> Path:
+    directory = golden_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(digest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def diff_digests(expected: Dict[str, object], got: Dict[str, object]) -> List[str]:
+    """Human-readable field-level differences (empty when identical)."""
+    problems = []
+    for key in sorted(set(expected) | set(got)):
+        if expected.get(key) != got.get(key):
+            problems.append(
+                f"{key}: expected {expected.get(key)!r}, got {got.get(key)!r}"
+            )
+    return problems
+
+
+def check_golden(
+    names: Optional[List[str]] = None,
+    update: bool = False,
+    validate: bool = True,
+) -> Dict[str, List[str]]:
+    """Compare (or refresh) golden digests.
+
+    Returns ``{name: [problem, ...]}`` with an empty list per clean
+    session.  With ``update=True`` digests are rewritten and every
+    session reports clean.
+    """
+    report: Dict[str, List[str]] = {}
+    for name in names or sorted(CANONICAL_SESSIONS):
+        digest = compute_digest(name, validate=validate)
+        if update:
+            write_digest(name, digest)
+            report[name] = []
+            continue
+        expected = load_digest(name)
+        if expected is None:
+            report[name] = [
+                f"no golden digest at {golden_dir() / (name + '.json')} "
+                "(run `repro validate --update-golden`)"
+            ]
+        else:
+            report[name] = diff_digests(expected, digest)
+    return report

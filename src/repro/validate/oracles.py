@@ -1,0 +1,172 @@
+"""Metamorphic oracles: paper-level monotonicity properties.
+
+Individual session outputs have no ground truth to compare against, but
+*relations between* sessions do — the metamorphic-testing idea.  Three
+relations follow directly from the paper's causal story and must hold
+in any faithful reproduction:
+
+* **More RAM ⇒ no more lmkd kills.**  The same background workload on
+  the 1 GB Nokia 1, 2 GB Nexus 5, and 3 GB Nexus 6P must produce a
+  non-increasing kill count (§2: kills exist to cover the RAM deficit).
+* **Higher pressure ⇒ non-increasing rendered FPS.**  Escalating the
+  MP-simulator target from Normal through Critical on one device must
+  never *improve* delivered frame rate (§4, Figures 9-10).
+* **No background apps ⇒ no worse QoE.**  Closing every organic
+  background app can only help the foreground session: at least as many
+  frames rendered, no more kills (§4.3).
+
+Each oracle averages a few seeded repetitions per cell, and all cells
+across all oracles are dispatched through the parallel experiment
+fabric in one batch, so ``--jobs N`` parallelizes the whole suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.parallel import SessionSpec, repetition_seeds, run_sessions
+from ..video.player import SessionResult
+
+#: Oracle cell geometry: short sessions keep the suite cheap; the
+#: properties under test are robust well below these durations.
+ORACLE_DURATION_S = 12.0
+ORACLE_RESOLUTION = "480p"
+ORACLE_FPS = 30
+ORACLE_BASE_SEED = 5
+#: Repetitions per cell at each level.
+REPETITIONS = {"basic": 2, "deep": 4}
+
+#: Background workload shared by the RAM-ladder cells.
+RAM_LADDER_APPS = 10
+#: Devices in increasing-RAM order (1 GB, 2 GB, 3 GB).
+RAM_LADDER = ("nokia1", "nexus5", "nexus6p")
+#: Pressure escalation on a fixed device.
+PRESSURE_LADDER = ("normal", "moderate", "critical")
+PRESSURE_DEVICE = "nexus5"
+#: Background-app contrast on a fixed device.
+BACKGROUND_DEVICE = "nexus5"
+BACKGROUND_APPS = 8
+
+
+@dataclass(frozen=True)
+class OracleOutcome:
+    """Verdict of one metamorphic oracle."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _cell_specs(
+    device: str,
+    pressure: str,
+    organic_apps: int,
+    repetitions: int,
+) -> List[SessionSpec]:
+    return [
+        SessionSpec(
+            device=device,
+            resolution=ORACLE_RESOLUTION,
+            fps=ORACLE_FPS,
+            pressure=pressure,
+            client=None,
+            duration_s=ORACLE_DURATION_S,
+            seed=seed,
+            organic_apps=organic_apps,
+        )
+        for seed in repetition_seeds(ORACLE_BASE_SEED, repetitions)
+    ]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _mean_kills(results: Sequence[SessionResult]) -> float:
+    return _mean([r.lmkd_kills + r.oom_kills for r in results])
+
+
+def _mean_rendered(results: Sequence[SessionResult]) -> float:
+    return _mean([r.frames_rendered for r in results])
+
+
+def _non_increasing(values: Sequence[float], tolerance: float = 1e-9) -> bool:
+    return all(b <= a + tolerance for a, b in zip(values, values[1:]))
+
+
+def oracle_plan(level: str = "basic") -> Dict[str, List[SessionSpec]]:
+    """Every oracle's cells, keyed ``oracle/cell`` in evaluation order."""
+    reps = REPETITIONS[level]
+    plan: Dict[str, List[SessionSpec]] = {}
+    for device in RAM_LADDER:
+        plan[f"ram-ladder/{device}"] = _cell_specs(
+            device, "normal", RAM_LADDER_APPS, reps
+        )
+    for pressure in PRESSURE_LADDER:
+        plan[f"pressure/{pressure}"] = _cell_specs(
+            PRESSURE_DEVICE, pressure, 0, reps
+        )
+    for apps in (0, BACKGROUND_APPS):
+        plan[f"background/{apps}"] = _cell_specs(
+            BACKGROUND_DEVICE, "normal", apps, reps
+        )
+    return plan
+
+
+def evaluate(cells: Dict[str, List[SessionResult]]) -> List[OracleOutcome]:
+    """Judge the three monotonicity properties over completed cells."""
+    outcomes: List[OracleOutcome] = []
+
+    kills = [_mean_kills(cells[f"ram-ladder/{d}"]) for d in RAM_LADDER]
+    outcomes.append(OracleOutcome(
+        name="more-ram-fewer-kills",
+        passed=_non_increasing(kills),
+        detail="mean kills by RAM " + ", ".join(
+            f"{d}={k:.1f}" for d, k in zip(RAM_LADDER, kills)
+        ),
+    ))
+
+    fps = [
+        _mean_rendered(cells[f"pressure/{p}"]) / ORACLE_DURATION_S
+        for p in PRESSURE_LADDER
+    ]
+    outcomes.append(OracleOutcome(
+        name="pressure-lowers-fps",
+        passed=_non_increasing(fps),
+        detail="mean rendered fps by pressure " + ", ".join(
+            f"{p}={v:.1f}" for p, v in zip(PRESSURE_LADDER, fps)
+        ),
+    ))
+
+    quiet = cells["background/0"]
+    busy = cells[f"background/{BACKGROUND_APPS}"]
+    rendered_ok = _mean_rendered(quiet) >= _mean_rendered(busy) - 1e-9
+    kills_ok = _mean_kills(quiet) <= _mean_kills(busy) + 1e-9
+    outcomes.append(OracleOutcome(
+        name="no-background-no-worse",
+        passed=rendered_ok and kills_ok,
+        detail=(
+            f"rendered {_mean_rendered(quiet):.1f} vs {_mean_rendered(busy):.1f}, "
+            f"kills {_mean_kills(quiet):.1f} vs {_mean_kills(busy):.1f} "
+            f"(0 vs {BACKGROUND_APPS} background apps)"
+        ),
+    ))
+    return outcomes
+
+
+def run_oracles(
+    jobs: Optional[int] = None,
+    level: str = "basic",
+    cache: Any = None,
+) -> List[OracleOutcome]:
+    """Run all oracle cells (one fabric batch) and judge the properties."""
+    plan = oracle_plan(level)
+    flat: List[Tuple[str, SessionSpec]] = [
+        (key, spec) for key, specs in plan.items() for spec in specs
+    ]
+    results = run_sessions([spec for _, spec in flat], jobs=jobs, cache=cache)
+    cells: Dict[str, List[SessionResult]] = {key: [] for key in plan}
+    for (key, _), result in zip(flat, results):
+        cells[key].append(result)
+    return evaluate(cells)

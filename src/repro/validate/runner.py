@@ -1,0 +1,97 @@
+"""Top-level validation entry point (backs ``repro validate``).
+
+One call runs the whole correctness suite:
+
+1. **Invariant-checked canonical sessions** — the three golden sessions
+   execute with a :class:`~repro.validate.checkers.ValidationHarness`
+   attached, collecting (not raising) violations so a report can show
+   all of them.
+2. **Golden-trace comparison** — each session's digest is checked
+   against ``tests/golden/`` (or rewritten with ``update_golden``).
+3. **Metamorphic oracles** — the monotonicity properties of
+   :mod:`repro.validate.oracles`, at ``basic`` or ``deep`` repetitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.session import StreamingSession
+from .checkers import Violation
+from .golden import (
+    CANONICAL_SESSIONS,
+    diff_digests,
+    golden_dir,
+    load_digest,
+    session_digest,
+    write_digest,
+)
+from .oracles import OracleOutcome, run_oracles
+
+
+@dataclass
+class ValidationReport:
+    """Everything ``repro validate`` measured."""
+
+    level: str
+    #: Invariant violations per canonical session (empty lists = clean).
+    violations: Dict[str, List[Violation]] = field(default_factory=dict)
+    #: Golden-digest problems per canonical session.
+    golden: Dict[str, List[str]] = field(default_factory=dict)
+    oracles: List[OracleOutcome] = field(default_factory=list)
+    updated_golden: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return (
+            all(not v for v in self.violations.values())
+            and all(not p for p in self.golden.values())
+            and all(o.passed for o in self.oracles)
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "level": self.level,
+            "passed": self.passed,
+            "violations": {
+                name: [str(v) for v in violations]
+                for name, violations in self.violations.items()
+            },
+            "golden": self.golden,
+            "oracles": [
+                {"name": o.name, "passed": o.passed, "detail": o.detail}
+                for o in self.oracles
+            ],
+            "updated_golden": self.updated_golden,
+        }
+
+
+def run_validation(
+    level: str = "basic",
+    jobs: Optional[int] = None,
+    update_golden: bool = False,
+    cache: Any = None,
+) -> ValidationReport:
+    """Run invariant checks, golden comparison, and oracles."""
+    report = ValidationReport(level=level, updated_golden=update_golden)
+    for name in sorted(CANONICAL_SESSIONS):
+        session = StreamingSession(validate=True, **CANONICAL_SESSIONS[name])
+        session.harness.raise_on_violation = False
+        result = session.run()
+        report.violations[name] = session.harness.finalize()
+        digest = session_digest(result)
+        if update_golden:
+            write_digest(name, digest)
+            report.golden[name] = []
+            continue
+        expected = load_digest(name)
+        if expected is None:
+            report.golden[name] = [
+                f"no golden digest at {golden_dir() / (name + '.json')} "
+                "(run `repro validate --update-golden`)"
+            ]
+        else:
+            report.golden[name] = diff_digests(expected, digest)
+    report.oracles = run_oracles(jobs=jobs, level=level, cache=cache)
+    return report

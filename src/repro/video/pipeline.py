@@ -294,10 +294,20 @@ class RenderPipeline:
             )
         self._consume_frame()
         grace = round(self.period * GRACE_FRACTION)
-        if self.sim.now > deadline + grace:
+        late = self.sim.now > deadline + grace
+        if late:
             self.stats.dropped_decode_late += 1
         else:
             self._in_flight += 1
+        if self.sim.tracing:
+            self.sim.emit(
+                "video.frame",
+                phase="decode",
+                pipeline=self,
+                in_flight=self._in_flight,
+                late=late,
+            )
+        if not late:
             # Present at the frame's PTS, never earlier: playback stays
             # at 1x even when the decoder catches up after a stall.
             pts = max(self.sim.now, deadline - self.period)
@@ -325,15 +335,27 @@ class RenderPipeline:
         )
 
     def _render_done(self, deadline: Time) -> None:
-        self._in_flight -= 1
         if self._stopped:
+            # stop() already counted every in-flight frame as dropped
+            # and zeroed the counter; decrementing here would double-
+            # account the frame and drive the counter negative.
             return
+        self._in_flight -= 1
         grace = round(self.period * GRACE_FRACTION)
-        if self.sim.now > deadline + grace:
+        late = self.sim.now > deadline + grace
+        if late:
             self.stats.dropped_render_late += 1
         else:
             self.stats.frames_rendered += 1
             self.stats.render_times.append(to_seconds(self.sim.now))
+        if self.sim.tracing:
+            self.sim.emit(
+                "video.frame",
+                phase="render",
+                pipeline=self,
+                in_flight=self._in_flight,
+                late=late,
+            )
         if self._waiting_pool:
             self._waiting_pool = False
             self._advance()
@@ -355,6 +377,14 @@ class RenderPipeline:
 
         for _ in range(to_skip):
             self._consume_frame(advance_stats_only=True)
+        if self.sim.tracing:
+            self.sim.emit(
+                "video.frame",
+                phase="skip",
+                pipeline=self,
+                in_flight=self._in_flight,
+                count=to_skip,
+            )
         self.decoder_thread.post(cost, on_complete=done, label="skip")
 
     def _consume_frame(self, advance_stats_only: bool = False) -> None:

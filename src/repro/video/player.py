@@ -66,6 +66,9 @@ class SessionResult:
     crash_reason: str = ""
     crash_time_s: Optional[float] = None
     rebuffer_s: float = 0.0
+    #: Device-wide kill counts over the session (any victim process).
+    lmkd_kills: int = 0
+    oom_kills: int = 0
     #: Wall-clock span of the session, launch to finalize (seconds).
     wall_span_s: float = 0.0
     pss_series: List[Tuple[float, float]] = field(default_factory=list)
@@ -382,6 +385,8 @@ class VideoPlayer:
         self.result.fps_series = stats.rendered_fps_series(
             start_s=to_seconds(self._start_time)
         )
+        self.result.lmkd_kills = self.manager.vmstat.lmkd_kills
+        self.result.oom_kills = self.manager.vmstat.oom_kills
         self.sim.emit("session.end", player=self)
 
     @property

@@ -1,0 +1,33 @@
+"""Shared test configuration.
+
+Registers hypothesis profiles so property tests are reproducible and
+CI-budgeted:
+
+* ``ci`` (default) — derandomized (examples derive from the test body,
+  not a random seed), capped example count, no per-example deadline
+  (the simulator's first call warms several module caches).
+* ``dev`` — small randomized profile for quick local iteration; select
+  with ``HYPOTHESIS_PROFILE=dev``.
+* ``thorough`` — larger randomized sweep for hunting rare interleavings
+  before refreshing golden traces.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=20, deadline=None)
+settings.register_profile(
+    "thorough",
+    max_examples=500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

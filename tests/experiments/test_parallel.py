@@ -77,6 +77,31 @@ def test_grid_parallel_matches_serial():
     assert [c.resolution for c in serial] == ["240p", "360p"]
 
 
+def test_three_cell_grid_digest_identical_across_paths(tmp_path):
+    """Byte-level determinism over a whole grid: a 3-cell sweep pickles
+    identically whether it ran serially, over 4 worker processes, or as
+    a pure cache replay."""
+    cells = [
+        {**CELL, "resolution": resolution}
+        for resolution in ("240p", "360p", "480p")
+    ]
+    serial = run_cells(cells, jobs=1, cache=False)
+    fanned = run_cells(cells, jobs=4, cache=False)
+    store = ResultCache(tmp_path / "cache")
+    run_cells(cells, cache=store)            # cold: fills the cache
+    replayed = run_cells(cells, cache=store)  # warm: pure replay
+    assert store.hits == len(cells) * CELL["repetitions"]
+
+    # Per-result pickles (a shared container would add memo references
+    # that depend on which path produced the objects, not their values).
+    def digests(grid):
+        return [pickle.dumps(r) for cell in grid for r in cell.results]
+
+    digest = digests(serial)
+    assert digests(fanned) == digest
+    assert digests(replayed) == digest
+
+
 def test_shared_abr_instance_runs_in_process(tmp_path):
     """A shared (non-callable) ABR instance must neither be cached nor
     shipped to a worker copy."""
@@ -155,6 +180,20 @@ def test_corrupt_entry_is_recomputed_and_replaced(tmp_path):
     [recovered] = run_sessions([_spec()], cache=store)
     assert recovered == clean
     # ... and the rewritten entry is valid again:
+    with path.open("rb") as fh:
+        assert pickle.load(fh) == clean
+
+
+def test_truncated_entry_is_recomputed_and_replaced(tmp_path):
+    """A partial write (crash mid-put, full disk) must read as a miss,
+    not an exception — and the entry must come back valid."""
+    store = ResultCache(tmp_path)
+    [clean] = run_sessions([_spec()], cache=store)
+    path = store.path_for(cache_key(_spec()))
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    [recovered] = run_sessions([_spec()], cache=store)
+    assert recovered == clean
     with path.open("rb") as fh:
         assert pickle.load(fh) == clean
 

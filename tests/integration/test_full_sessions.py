@@ -10,13 +10,14 @@ import pytest
 from repro.core import MemoryAwareAbr, StreamingSession
 from repro.core.session import DEVICE_FACTORIES
 from repro.kernel.pressure import MemoryPressureLevel
-from repro.sched.states import ThreadState
-from repro.sim import seconds
 from repro.video.encoding import GENRES, VideoAsset, default_video
 
 
 def run_with_invariant_checks(device_name, pressure, resolution="480p",
                               fps=60, duration=15.0, seed=71):
+    """Run a session with the full validation harness attached: every
+    invariant family (page conservation, pressure ordering, scheduler
+    sanity, video causality) raises at the moment it first breaks."""
     device = DEVICE_FACTORIES[device_name](seed=seed)
     session = StreamingSession(
         device=device,
@@ -25,23 +26,11 @@ def run_with_invariant_checks(device_name, pressure, resolution="480p",
         frame_rate=fps,
         pressure=pressure,
         duration_s=duration,
+        validate=True,
     )
-
-    def check() -> None:
-        device.memory.check_consistency()
-        # One running thread per core, at most.
-        running = [
-            t for t in device.scheduler.threads
-            if t.state is ThreadState.RUNNING
-        ]
-        occupied = [c for c in device.scheduler.cores if c.current is not None]
-        assert len(running) == len(occupied)
-        for core in occupied:
-            assert core.current.state is ThreadState.RUNNING
-        device.sim.schedule(seconds(0.5), check)
-
-    device.sim.schedule(seconds(0.5), check)
     result = session.run()
+    assert session.harness.polls > 0  # the checkers actually ran
+    assert session.harness.ok
     device.memory.check_consistency()
     return device, result
 

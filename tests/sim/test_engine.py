@@ -136,6 +136,63 @@ def test_cancel_later_batch_member_before_it_fires():
     assert sim.pending_events == 0
 
 
+def test_pending_events_visible_to_batch_callbacks():
+    """Regression (Event.counted / pop_ready audit): a callback running
+    inside a same-timestamp batch must still see the batch's unfired
+    live members in pending_events — they have been popped, but they
+    are pending by any observable definition."""
+    sim = Simulator()
+    seen = []
+    sim.schedule(4, lambda: seen.append(sim.pending_events))
+    sim.schedule(4, lambda: seen.append(sim.pending_events))
+    sim.schedule(9, lambda: seen.append(sim.pending_events))
+    sim.run()
+    # First callback: one batch-mate unfired + the t=9 event = 2.
+    # Second: just the t=9 event.  Third: nothing left.
+    assert seen == [2, 1, 0]
+
+
+def test_cancel_mid_batch_updates_pending_immediately():
+    sim = Simulator()
+    observed = []
+    victim_box = []
+
+    def canceller():
+        before = sim.pending_events
+        sim.cancel(victim_box[0])
+        observed.append((before, sim.pending_events))
+
+    sim.schedule(5, canceller)
+    victim_box.append(sim.schedule(5, lambda: observed.append("victim")))
+    sim.run()
+    # The victim was visible before cancellation and gone right after.
+    assert observed == [(1, 0)]
+    assert sim.pending_events == 0
+
+
+def test_stop_mid_batch_drops_cancelled_member_from_count():
+    """A batch member cancelled by an earlier same-batch event must not
+    linger in the pending count when the engine stops before reaching
+    it (it is retired, not requeued)."""
+    sim = Simulator()
+    fired = []
+    victim_box = []
+
+    def cancel_and_stop():
+        sim.cancel(victim_box[0])
+        sim.stop()
+
+    sim.schedule(5, cancel_and_stop)
+    victim_box.append(sim.schedule(5, fired.append, "victim"))
+    sim.schedule(5, fired.append, "kept")
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 1  # only "kept" survives
+    sim.run()
+    assert fired == ["kept"]
+    assert sim.pending_events == 0
+
+
 def test_emit_skips_work_with_no_subscribers():
     sim = Simulator()
     assert sim.tracing is False

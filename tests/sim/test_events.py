@@ -106,6 +106,10 @@ def test_pop_ready_returns_same_time_batch():
     c = queue.push(7, noop, label="c")
     batch = queue.pop_ready()
     assert batch == [a, b]
+    # Only the head leaves the live count at pop; `b` stays pending
+    # until the engine retires it (fires it or finds it cancelled).
+    assert len(queue) == 2
+    queue.retire(b)
     assert len(queue) == 1
     assert queue.pop_ready() == [c]
     assert queue.pop_ready() is None
@@ -127,6 +131,8 @@ def test_pop_ready_skips_cancelled_within_batch():
     c = queue.push(5, noop)
     b.cancel()
     assert queue.pop_ready() == [a, c]
+    assert len(queue) == 1  # `c` still pending until retired
+    queue.retire(c)
     assert len(queue) == 0
 
 
@@ -139,3 +145,65 @@ def test_requeue_restores_live_count_and_order():
     queue.requeue(b)
     assert len(queue) == 1
     assert queue.pop() is b
+
+
+# ----------------------------------------------------------------------
+# Regression tests for the Event.counted / pop_ready audit: members of a
+# same-timestamp batch must stay in the live count until they actually
+# fire, and cancelling one mid-batch must be accounted exactly once.
+# ----------------------------------------------------------------------
+
+def test_unfired_batch_members_stay_in_live_count():
+    """Popping a batch must not make its unfired tail vanish from
+    len(): those events are still pending from any observer's view."""
+    queue = EventQueue()
+    queue.push(5, noop)
+    b = queue.push(5, noop)
+    c = queue.push(5, noop)
+    queue.pop_ready()
+    assert len(queue) == 2  # b and c: popped, not yet fired
+    queue.retire(b)
+    queue.retire(c)
+    assert len(queue) == 0
+
+
+def test_cancel_of_popped_batch_member_adjusts_count_once():
+    """note_cancelled for a popped-but-unfired batch member must
+    decrement the live count exactly once, with the engine's later
+    retire() of the same event a guaranteed no-op."""
+    queue = EventQueue()
+    queue.push(5, noop)
+    b = queue.push(5, noop)
+    queue.pop_ready()
+    assert len(queue) == 1
+    b.cancel()
+    queue.note_cancelled(b)  # mid-batch cancellation (sim.cancel path)
+    assert len(queue) == 0
+    queue.retire(b)  # engine reaches the cancelled member
+    assert len(queue) == 0
+    queue.note_cancelled(b)  # idempotent afterwards too
+    assert len(queue) == 0
+
+
+def test_retire_is_idempotent():
+    queue = EventQueue()
+    queue.push(3, noop)
+    b = queue.push(3, noop)
+    queue.pop_ready()
+    queue.retire(b)
+    queue.retire(b)
+    assert len(queue) == 0
+
+
+def test_requeue_of_unfired_member_keeps_count_exact():
+    """Stop-mid-batch: the unfired member never left the live count, so
+    requeue must not double-count it."""
+    queue = EventQueue()
+    queue.push(5, noop)
+    b = queue.push(5, noop)
+    queue.pop_ready()
+    assert len(queue) == 1
+    queue.requeue(b)
+    assert len(queue) == 1
+    assert queue.pop() is b
+    assert len(queue) == 0

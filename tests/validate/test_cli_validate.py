@@ -1,0 +1,66 @@
+"""CLI ``repro validate`` end-to-end tests.
+
+The golden directory and result cache are redirected into the test's
+tmp dir, so these exercise the full update → check → drift cycle the
+way CI and a developer refreshing digests would, without ever touching
+the committed ``tests/golden/``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.experiments import parallel
+from repro.validate import CANONICAL_SESSIONS
+from repro.validate.golden import GOLDEN_DIR_ENV
+
+
+@pytest.fixture()
+def isolated_dirs(tmp_path, monkeypatch):
+    golden = tmp_path / "golden"
+    monkeypatch.setenv(GOLDEN_DIR_ENV, str(golden))
+    # Cache oracle sessions so the second `validate` run replays them.
+    monkeypatch.setenv(parallel.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(parallel.CACHE_DISABLE_ENV, raising=False)
+    return golden
+
+
+def test_update_then_check_round_trip(isolated_dirs, capsys):
+    assert cli.main(["validate", "--update-golden", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("rewritten") == len(CANONICAL_SESSIONS)
+    assert "validation PASSED" in out
+    for name in CANONICAL_SESSIONS:
+        assert (isolated_dirs / f"{name}.json").exists()
+
+    assert cli.main(["validate", "--json", "--jobs", "2"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["passed"] is True
+    assert payload["level"] == "basic"
+    assert set(payload["golden"]) == set(CANONICAL_SESSIONS)
+    assert all(not problems for problems in payload["golden"].values())
+    assert all(not v for v in payload["violations"].values())
+    assert [o["passed"] for o in payload["oracles"]] == [True, True, True]
+
+
+def test_drift_fails_with_nonzero_exit(isolated_dirs, capsys):
+    assert cli.main(["validate", "--update-golden", "--jobs", "2"]) == 0
+    capsys.readouterr()
+    path = isolated_dirs / "nokia1.json"
+    digest = json.loads(path.read_text())
+    digest["frames_rendered"] += 1
+    path.write_text(json.dumps(digest))
+    assert cli.main(["validate", "--jobs", "2"]) == 1
+    out = capsys.readouterr().out
+    assert "DRIFT" in out and "frames_rendered" in out
+    assert "validation FAILED" in out
+
+
+def test_missing_golden_fails_and_points_at_the_fix(isolated_dirs, capsys):
+    assert cli.main(["validate", "--jobs", "2"]) == 1
+    out = capsys.readouterr().out
+    assert "no golden digest" in out
+    assert "--update-golden" in out

@@ -1,0 +1,93 @@
+"""Golden-trace regression tests.
+
+``test_committed_golden_digests_match`` is the CI drift gate: any
+change that moves the canonical sessions' behaviour fails here until
+the digests are deliberately refreshed with
+``repro validate --update-golden``.  The remaining tests pin the digest
+machinery itself (determinism, field-level diffs, the update cycle,
+and the ``REPRO_GOLDEN_DIR`` override).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.validate import CANONICAL_SESSIONS, check_golden, session_digest
+from repro.validate.golden import (
+    GOLDEN_DIR_ENV,
+    compute_digest,
+    diff_digests,
+    golden_dir,
+    load_digest,
+    run_canonical_session,
+    write_digest,
+)
+
+
+def test_committed_golden_digests_match():
+    """The committed tests/golden/*.json digests reproduce exactly,
+    with the invariant harness attached throughout."""
+    report = check_golden()
+    assert report == {name: [] for name in CANONICAL_SESSIONS}
+
+
+def test_canonical_sessions_cover_all_devices():
+    devices = {params["device"] for params in CANONICAL_SESSIONS.values()}
+    assert devices == {"nokia1", "nexus5", "nexus6p"}
+    for name in CANONICAL_SESSIONS:
+        assert load_digest(name) is not None, f"{name}.json not committed"
+
+
+def test_digest_is_deterministic_and_complete():
+    a = compute_digest("nexus6p")
+    b = compute_digest("nexus6p")
+    assert a == b
+    assert a["device"] == "Nexus 6P"  # the profile's display name
+    assert len(a["series_sha256"]) == 64
+    # The digest reconciles internally like the simulator does.
+    dropped = (a["dropped_decode_late"] + a["dropped_render_late"]
+               + a["dropped_skipped"])
+    assert a["frames_rendered"] + dropped == a["frames_processed"]
+
+
+def test_diff_digests_reports_field_level_changes():
+    digest = session_digest(run_canonical_session("nexus6p"))
+    assert diff_digests(digest, dict(digest)) == []
+    tampered = dict(digest)
+    tampered["lmkd_kills"] = 99
+    tampered["series_sha256"] = "0" * 64
+    problems = diff_digests(digest, tampered)
+    assert len(problems) == 2
+    assert any(p.startswith("lmkd_kills:") for p in problems)
+    assert any(p.startswith("series_sha256:") for p in problems)
+
+
+def test_update_cycle_in_override_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(GOLDEN_DIR_ENV, str(tmp_path))
+    assert golden_dir() == tmp_path
+
+    # Missing digest: actionable problem, not a crash.
+    [problem] = check_golden(names=["nexus6p"])["nexus6p"]
+    assert "no golden digest" in problem and "--update-golden" in problem
+
+    # Refresh writes the file and reports clean; a re-check matches.
+    assert check_golden(names=["nexus6p"], update=True) == {"nexus6p": []}
+    assert (tmp_path / "nexus6p.json").exists()
+    assert check_golden(names=["nexus6p"]) == {"nexus6p": []}
+
+    # Drift in any pinned field is called out by name.
+    path = tmp_path / "nexus6p.json"
+    stored = json.loads(path.read_text())
+    stored["frames_rendered"] += 1
+    path.write_text(json.dumps(stored))
+    problems = check_golden(names=["nexus6p"])["nexus6p"]
+    assert any(p.startswith("frames_rendered:") for p in problems)
+
+
+def test_write_digest_round_trips(tmp_path, monkeypatch):
+    monkeypatch.setenv(GOLDEN_DIR_ENV, str(tmp_path / "nested"))
+    digest = {"device": "nexus5", "frames_rendered": 123, "crashed": False}
+    path = write_digest("nexus5", digest)
+    assert path == tmp_path / "nested" / "nexus5.json"
+    assert load_digest("nexus5") == digest
+    assert path.read_text().endswith("\n")

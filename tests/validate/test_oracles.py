@@ -1,0 +1,91 @@
+"""Metamorphic-oracle tests.
+
+``evaluate`` is judged against synthetic results (so each oracle's
+pass/fail logic is pinned without running sessions), and ``run_oracles``
+is run for real on the default grid — the acceptance criterion that the
+simulator actually satisfies the paper's monotonicity properties.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.validate import run_oracles
+from repro.validate.oracles import (
+    BACKGROUND_APPS,
+    ORACLE_DURATION_S,
+    PRESSURE_LADDER,
+    RAM_LADDER,
+    REPETITIONS,
+    evaluate,
+    oracle_plan,
+)
+
+
+def _fake(rendered=300, lmkd=0, oom=0):
+    return SimpleNamespace(
+        frames_rendered=rendered, lmkd_kills=lmkd, oom_kills=oom
+    )
+
+
+def _healthy_cells():
+    cells = {}
+    for device, kills in zip(RAM_LADDER, (8, 3, 0)):
+        cells[f"ram-ladder/{device}"] = [_fake(lmkd=kills)] * 2
+    for pressure, rendered in zip(PRESSURE_LADDER, (360, 300, 120)):
+        cells[f"pressure/{pressure}"] = [_fake(rendered=rendered)] * 2
+    cells["background/0"] = [_fake(rendered=360)] * 2
+    cells[f"background/{BACKGROUND_APPS}"] = [_fake(rendered=200, lmkd=4)] * 2
+    return cells
+
+
+def test_oracle_plan_geometry():
+    plan = oracle_plan("basic")
+    assert set(plan) == set(_healthy_cells())
+    for specs in plan.values():
+        assert len(specs) == REPETITIONS["basic"]
+        assert len({spec.seed for spec in specs}) == len(specs)
+        assert all(spec.duration_s == ORACLE_DURATION_S for spec in specs)
+    deep = oracle_plan("deep")
+    assert all(len(s) == REPETITIONS["deep"] for s in deep.values())
+
+
+def test_evaluate_passes_on_monotone_results():
+    outcomes = evaluate(_healthy_cells())
+    assert [o.name for o in outcomes] == [
+        "more-ram-fewer-kills", "pressure-lowers-fps",
+        "no-background-no-worse",
+    ]
+    assert all(o.passed for o in outcomes)
+
+
+def test_evaluate_flags_ram_ladder_inversion():
+    cells = _healthy_cells()
+    # The 3 GB device killing more than the 1 GB device is exactly the
+    # causal inversion this oracle exists to catch.
+    cells[f"ram-ladder/{RAM_LADDER[-1]}"] = [_fake(lmkd=20)] * 2
+    outcome = evaluate(cells)[0]
+    assert outcome.name == "more-ram-fewer-kills" and not outcome.passed
+    assert RAM_LADDER[-1] in outcome.detail
+
+
+def test_evaluate_flags_pressure_improving_fps():
+    cells = _healthy_cells()
+    cells[f"pressure/{PRESSURE_LADDER[-1]}"] = [_fake(rendered=500)] * 2
+    outcome = evaluate(cells)[1]
+    assert outcome.name == "pressure-lowers-fps" and not outcome.passed
+
+
+def test_evaluate_flags_background_apps_helping():
+    cells = _healthy_cells()
+    cells["background/0"] = [_fake(rendered=100, lmkd=9)] * 2
+    outcome = evaluate(cells)[2]
+    assert outcome.name == "no-background-no-worse" and not outcome.passed
+
+
+def test_oracles_pass_on_the_default_grid():
+    """The real simulator satisfies all three paper-level monotonicity
+    properties (the ISSUE's oracle acceptance criterion)."""
+    outcomes = run_oracles(jobs=2, level="basic", cache=False)
+    failures = [f"{o.name}: {o.detail}" for o in outcomes if not o.passed]
+    assert not failures, failures
