@@ -1,0 +1,98 @@
+"""Baseline file handling: grandfathered findings.
+
+``lint-baseline.json`` mirrors the ``--update-golden`` idiom from the
+validation subsystem: the file records the findings that existed when a
+rule was introduced, ``repro lint`` fails only on findings *not* in it,
+and ``repro lint --update-baseline`` refreshes it deliberately (the
+diff then shows exactly which debts were added or paid down).
+
+Entries are keyed by finding fingerprint (rule + path + message — line
+numbers excluded so edits elsewhere in a file do not un-baseline a
+finding) with a count, so two identical findings in one file need two
+baseline slots: fixing one of them keeps the run green, adding a third
+fails it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .engine import Finding
+
+BASELINE_VERSION = 1
+#: Default baseline location, relative to the working directory.
+DEFAULT_BASELINE = Path("lint-baseline.json")
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint -> allowed count.  A missing file is an empty baseline."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return {}
+    payload = json.loads(text)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path} (expected {BASELINE_VERSION})"
+        )
+    allowed: Dict[str, int] = {}
+    for entry in payload.get("findings", []):
+        allowed[entry["fingerprint"]] = (
+            allowed.get(entry["fingerprint"], 0) + int(entry.get("count", 1))
+        )
+    return allowed
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Record ``findings`` as the new grandfathered set."""
+    grouped: Dict[str, Tuple[Finding, int]] = {}
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if fingerprint in grouped:
+            first, count = grouped[fingerprint]
+            grouped[fingerprint] = (first, count + 1)
+        else:
+            grouped[fingerprint] = (finding, 1)
+    entries = [
+        {
+            "fingerprint": fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+            "count": count,
+        }
+        for fingerprint, (finding, count) in sorted(grouped.items())
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered `repro lint` findings. Refresh deliberately "
+            "with `repro lint --update-baseline` and justify additions "
+            "in the same commit (see docs/static-analysis.md)."
+        ),
+        "findings": entries,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def split_baselined(
+    findings: Sequence[Finding], allowed: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, baselined), consuming counts."""
+    budget = Counter(allowed)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if budget[fingerprint] > 0:
+            budget[fingerprint] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,141 @@
+"""The ``repro lint`` subcommand: argument wiring and the lint driver.
+
+Kept separate from :mod:`repro.cli` so the analysis package can run
+standalone (pre-commit invokes ``python -m repro.analysis.cli`` on the
+changed files) and so importing the main CLI never pays for the rule
+registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from .engine import LintResult, collect_files, run_rules
+from .reporters import render_json, render_text
+from .rules import build_rules, rule_catalog
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0 "
+             "(the static-analysis mirror of `repro validate "
+             "--update-golden`)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument("--json", action="store_true")
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    use_baseline: bool = True,
+    only_rules: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Library entry point: lint ``paths`` and return the result."""
+    resolved_root = root if root is not None else Path.cwd()
+    rules = build_rules(only_rules)
+    files = collect_files(list(paths), resolved_root)
+    findings, suppressed = run_rules(files, rules)
+    allowed = (
+        load_baseline(baseline_path)
+        if use_baseline and baseline_path is not None
+        else {}
+    )
+    new, baselined = split_baselined(findings, allowed)
+    return LintResult(
+        findings=new,
+        baselined=baselined,
+        suppressed=suppressed,
+        files_checked=len(files),
+        rules_run=[rule.id for rule in rules],
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id, cls in rule_catalog().items():
+            print(f"{rule_id}  {cls.title}")
+        return 0
+
+    raw_paths = args.paths or ["src/repro"]
+    paths = [Path(p) for p in raw_paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    only_rules: Optional[List[str]] = None
+    if args.rules:
+        only_rules = [r for r in args.rules.split(",") if r.strip()]
+
+    baseline_path = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+
+    if args.update_baseline:
+        result = run_lint(
+            paths, baseline_path=None, use_baseline=False,
+            only_rules=only_rules,
+        )
+        write_baseline(result.findings, baseline_path)
+        print(
+            f"baseline rewritten: {len(result.findings)} finding(s) "
+            f"recorded in {baseline_path}"
+        )
+        return 0
+
+    result = run_lint(
+        paths,
+        baseline_path=baseline_path,
+        use_baseline=not args.no_baseline,
+        only_rules=only_rules,
+    )
+    if args.json:
+        print(json.dumps(render_json(result), indent=2, sort_keys=True))
+    else:
+        for line in render_text(result):
+            print(line)
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism & contract linter for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return cmd_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Cross-file facts the contract rules check against.
+
+The index is built once per lint run over every target file.  It
+records, with locations:
+
+* every literal-topic ``<obj>.emit("topic", key=value, ...)`` call site
+  (plus any dynamic-topic emit, which defeats static checking);
+* every literal-topic ``<obj>.on("topic", callback)`` subscription —
+  the registry the emit sites are cross-checked against;
+* the field list of the ``SessionResult`` dataclass (order and
+  annotations), from which the cache-schema fingerprint is computed;
+* module-level ``SCHEMA_VERSION`` / ``SCHEMA_FINGERPRINT`` constants.
+
+Everything here is syntactic: no imports are executed, so the linter
+can run on broken or dependency-free checkouts.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from .engine import SourceFile
+
+
+@dataclass(frozen=True)
+class TopicSite:
+    """One emit() or on() call with a literal topic string."""
+
+    topic: str
+    path: str
+    line: int
+    col: int
+    #: Keyword names passed alongside the topic (emit payload keys).
+    payload_keys: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ConstantSite:
+    """A module-level constant assignment (SCHEMA_VERSION and friends)."""
+
+    name: str
+    value: object
+    path: str
+    line: int
+
+
+def session_result_fingerprint(fields: Sequence[Tuple[str, str]]) -> str:
+    """Digest of the (ordered) SessionResult field list.
+
+    Any change to field names, order, or annotations changes this value,
+    which REP204 requires to match the recorded ``SCHEMA_FINGERPRINT`` —
+    forcing a deliberate, reviewed ``SCHEMA_VERSION`` bump whenever the
+    cached payload shape moves.
+    """
+    blob = "\n".join(f"{name}:{annotation}" for name, annotation in fields)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class ProjectIndex:
+    """Facts extracted from every file in the lint target set."""
+
+    def __init__(self, files: Sequence["SourceFile"]) -> None:
+        self.emits: List[TopicSite] = []
+        self.subscriptions: List[TopicSite] = []
+        self.dynamic_topics: List[TopicSite] = []
+        self.constants: Dict[str, List[ConstantSite]] = {}
+        #: Ordered (name, annotation) pairs of the SessionResult fields.
+        self.session_result_fields: Optional[List[Tuple[str, str]]] = None
+        self.session_result_site: Optional[Tuple[str, int]] = None
+        for src in files:
+            if src.tree is not None:
+                self._scan(src)
+
+    # ------------------------------------------------------------------
+    def _scan(self, src: "SourceFile") -> None:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                self._scan_call(src, node)
+            elif isinstance(node, ast.ClassDef) and node.name == "SessionResult":
+                self._scan_session_result(src, node)
+            elif isinstance(node, ast.Assign):
+                self._scan_assign(src, node)
+
+    def _scan_call(self, src: "SourceFile", node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in ("emit", "on"):
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            site = TopicSite(
+                topic=first.value,
+                path=src.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                payload_keys=tuple(
+                    kw.arg for kw in node.keywords if kw.arg is not None
+                ),
+            )
+            if func.attr == "emit":
+                self.emits.append(site)
+            else:
+                # Require the (topic, callback) shape so unrelated .on()
+                # APIs (e.g. event-emitter libraries) are not swept in.
+                if len(node.args) == 2:
+                    self.subscriptions.append(site)
+        elif func.attr == "emit":
+            self.dynamic_topics.append(TopicSite(
+                topic="<dynamic>",
+                path=src.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+            ))
+
+    def _scan_session_result(self, src: "SourceFile", node: ast.ClassDef) -> None:
+        fields: List[Tuple[str, str]] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                fields.append((stmt.target.id, ast.unparse(stmt.annotation)))
+        self.session_result_fields = fields
+        self.session_result_site = (src.rel, node.lineno)
+
+    def _scan_assign(self, src: "SourceFile", node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in (
+                "SCHEMA_VERSION", "SCHEMA_FINGERPRINT"
+            ):
+                value: object = None
+                if isinstance(node.value, ast.Constant):
+                    value = node.value.value
+                self.constants.setdefault(target.id, []).append(ConstantSite(
+                    name=target.id,
+                    value=value,
+                    path=src.rel,
+                    line=node.lineno,
+                ))
+
+    # ------------------------------------------------------------------
+    @property
+    def emitted_topics(self) -> Dict[str, List[TopicSite]]:
+        grouped: Dict[str, List[TopicSite]] = {}
+        for site in self.emits:
+            grouped.setdefault(site.topic, []).append(site)
+        return grouped
+
+    @property
+    def subscribed_topics(self) -> Dict[str, List[TopicSite]]:
+        grouped: Dict[str, List[TopicSite]] = {}
+        for site in self.subscriptions:
+            grouped.setdefault(site.topic, []).append(site)
+        return grouped

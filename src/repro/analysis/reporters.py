@@ -1,0 +1,61 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+The JSON schema is stable and versioned (``REPORT_SCHEMA_VERSION``);
+``tests/analysis`` locks it, since dashboards and the CI annotation
+step consume it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .engine import Finding, LintResult
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def _finding_payload(finding: Finding) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "fingerprint": finding.fingerprint,
+    }
+
+
+def render_json(result: LintResult) -> Dict[str, Any]:
+    """The machine-readable report (``repro lint --json``)."""
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "ok": result.ok,
+        "findings": [_finding_payload(f) for f in result.findings],
+        "baselined": [_finding_payload(f) for f in result.baselined],
+        "suppressed": [_finding_payload(f) for f in result.suppressed],
+        "summary": {
+            "new": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "files_checked": result.files_checked,
+            "rules_run": list(result.rules_run),
+        },
+    }
+
+
+def render_text(result: LintResult) -> List[str]:
+    """Human-readable report lines (one finding per line)."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.message}"
+        )
+    summary = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{result.files_checked} file(s) checked"
+    )
+    lines.append(summary if result.findings else f"clean: {summary}")
+    return lines

@@ -1,0 +1,330 @@
+"""Determinism rules: constructs that break bit-identical replay.
+
+Everything the reproduction claims — serial/parallel equivalence,
+golden-trace digests, cache hits standing in for live runs — holds only
+while a session's trajectory is a pure function of its
+:class:`~repro.experiments.parallel.SessionSpec`.  These rules ban the
+constructs that quietly break that purity inside the simulation core
+(``sim``, ``kernel``, ``sched``, ``video``, ``workload``, ``device``,
+``core``):
+
+========  ==========================================================
+REP101    wall-clock reads (``time.time``, ``datetime.now``, ...)
+REP102    module-level ``random`` draws instead of named sim streams
+REP103    builtin ``hash()`` (salted per process via PYTHONHASHSEED)
+REP104    iteration over a ``set``/``frozenset`` (arbitrary order)
+REP105    ``id()``-based ordering or tie-breaking (address-dependent)
+REP106    float ``==``/``!=`` against float literals in invariant code
+========  ==========================================================
+
+``benchmarks/`` is intentionally outside every scope: wall-clock timing
+is the whole point there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..engine import Finding, ImportMap, Rule, SourceFile
+
+#: The deterministic core: packages whose code runs inside a simulation.
+DETERMINISM_SCOPE: FrozenSet[str] = frozenset(
+    {"sim", "kernel", "sched", "video", "workload", "device", "core"}
+)
+
+#: Invariant code additionally covered by the float-equality rule.
+INVARIANT_SCOPE: FrozenSet[str] = DETERMINISM_SCOPE | {"validate", "experiments"}
+
+
+# ----------------------------------------------------------------------
+class WallClockRule(Rule):
+    """REP101: wall-clock reads inside the simulation core."""
+
+    id = "REP101"
+    title = "wall-clock read in simulation code"
+    rationale = (
+        "Simulated time comes from Simulator.now; reading the host clock "
+        "makes a run depend on machine load and breaks replay."
+    )
+    scope = DETERMINISM_SCOPE
+
+    BANNED: FrozenSet[str] = frozenset({
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns", "time.localtime", "time.gmtime", "time.ctime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        imports = ImportMap(src.tree)
+        for call in _calls(src.tree):
+            dotted = imports.resolve(call.func)
+            if dotted in self.BANNED:
+                yield self.finding(
+                    src, call,
+                    f"wall-clock call {dotted}() — use the simulator clock "
+                    "(sim.now) or take timestamps at the experiment boundary",
+                )
+
+
+# ----------------------------------------------------------------------
+class ModuleRandomRule(Rule):
+    """REP102: draws from the process-global ``random`` module."""
+
+    id = "REP102"
+    title = "module-level random draw"
+    rationale = (
+        "The global random module shares one process-wide state: any "
+        "draw order change (or another import drawing first) perturbs "
+        "every later value.  All randomness must come from named "
+        "sim.random streams (repro.sim.rng.RandomStreams)."
+    )
+    scope = DETERMINISM_SCOPE
+
+    DRAW_FNS: FrozenSet[str] = frozenset({
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "shuffle", "sample", "gauss", "normalvariate", "lognormvariate",
+        "expovariate", "betavariate", "gammavariate", "triangular",
+        "paretovariate", "vonmisesvariate", "weibullvariate", "getrandbits",
+        "seed", "binomialvariate",
+    })
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        imports = ImportMap(src.tree)
+        for call in _calls(src.tree):
+            dotted = imports.resolve(call.func)
+            if dotted is None:
+                continue
+            if dotted == "random.SystemRandom":
+                yield self.finding(
+                    src, call,
+                    "random.SystemRandom() draws from the OS entropy pool "
+                    "and can never replay — use a seeded named stream",
+                )
+            elif (
+                dotted.startswith("random.")
+                and dotted.split(".", 1)[1] in self.DRAW_FNS
+            ):
+                yield self.finding(
+                    src, call,
+                    f"module-level {dotted}() shares global RNG state — "
+                    "draw from a named stream via sim.random.stream(name)",
+                )
+
+
+# ----------------------------------------------------------------------
+class BuiltinHashRule(Rule):
+    """REP103: builtin ``hash()`` in simulation code."""
+
+    id = "REP103"
+    title = "builtin hash() call"
+    rationale = (
+        "str/bytes hashes are salted per process (PYTHONHASHSEED), so "
+        "anything derived from hash() differs between workers and runs. "
+        "Use hashlib (as repro.sim.rng.derive_seed does) for stable "
+        "digests."
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in _calls(src.tree):
+            if isinstance(call.func, ast.Name) and call.func.id == "hash":
+                yield self.finding(
+                    src, call,
+                    "builtin hash() is salted per process — use "
+                    "hashlib.sha256 (see sim.rng.derive_seed) for a "
+                    "stable digest",
+                )
+
+
+# ----------------------------------------------------------------------
+class SetIterationRule(Rule):
+    """REP104: iterating a set in code that feeds scheduling decisions."""
+
+    id = "REP104"
+    title = "iteration over an unordered set"
+    rationale = (
+        "Set iteration order depends on insertion history and on the "
+        "per-process hash salt for str elements; feeding it into "
+        "scheduling, victim selection, or event enqueue makes runs "
+        "diverge.  Wrap in sorted(...) or keep an explicit list."
+    )
+    scope = DETERMINISM_SCOPE
+
+    #: Wrappers whose result is order-insensitive: iterating inside them
+    #: is safe even when the operand is a set.
+    ORDER_FREE_CALLS: FrozenSet[str] = frozenset({
+        "sorted", "len", "sum", "min", "max", "any", "all", "set",
+        "frozenset",
+    })
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        assert src.tree is not None
+        set_names = _locally_bound_sets(src.tree)
+
+        def unordered(node: ast.AST) -> bool:
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("set", "frozenset"):
+                    return True
+            if isinstance(node, ast.Name) and node.id in set_names:
+                return True
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+            ):
+                return unordered(node.left) or unordered(node.right)
+            return False
+
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST, context: str) -> None:
+            findings.append(self.finding(
+                src, node,
+                f"{context} iterates a set in arbitrary order — wrap in "
+                "sorted(...) with an explicit key, or use a list",
+            ))
+
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.For) and unordered(node.iter):
+                flag(node.iter, "for loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+                for gen in node.generators:
+                    # Building another set from a set is order-free.
+                    if isinstance(node, ast.SetComp):
+                        continue
+                    if unordered(gen.iter):
+                        flag(gen.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                name = node.func.id if isinstance(node.func, ast.Name) else None
+                if name in ("list", "tuple", "iter", "enumerate", "reversed"):
+                    if node.args and unordered(node.args[0]):
+                        flag(node.args[0], f"{name}()")
+                elif isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+                    if node.args and unordered(node.args[0]):
+                        flag(node.args[0], "str.join()")
+            elif isinstance(node, ast.Starred) and unordered(node.value):
+                flag(node.value, "unpacking")
+        return findings
+
+
+def _locally_bound_sets(tree: ast.AST) -> Set[str]:
+    """Names assigned from an obvious set expression anywhere in the file.
+
+    A coarse, suppressible heuristic: one-level dataflow is enough to
+    catch ``victims = set(...) ... for v in victims`` without a type
+    checker.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+            if isinstance(target, ast.Name) and _is_set_expr(value):
+                names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and _is_set_expr(node.value):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+# ----------------------------------------------------------------------
+class IdOrderingRule(Rule):
+    """REP105: ``id()`` in simulation code (address-dependent values)."""
+
+    id = "REP105"
+    title = "id()-derived value in simulation code"
+    rationale = (
+        "CPython object addresses differ between runs and workers; any "
+        "ordering, tie-break, or key derived from id() is "
+        "irreproducible.  Use a stable attribute (name, table index, "
+        "sequence number) instead."
+    )
+    scope = DETERMINISM_SCOPE
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in _calls(src.tree):
+            if isinstance(call.func, ast.Name) and call.func.id == "id":
+                yield self.finding(
+                    src, call,
+                    "id() yields a per-run object address — break ties "
+                    "with a stable attribute (name, index, seq) instead",
+                )
+
+
+# ----------------------------------------------------------------------
+class FloatEqualityRule(Rule):
+    """REP106: exact float comparison against a float literal."""
+
+    id = "REP106"
+    title = "exact float equality in invariant code"
+    rationale = (
+        "Float accumulation order is part of the replay contract; an "
+        "invariant written as x == 0.3 silently never fires (or fires "
+        "spuriously) when a refactor reassociates the arithmetic.  "
+        "Compare integers, use tolerances, or restructure the check."
+    )
+    scope = INVARIANT_SCOPE
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, (left, right) in zip(
+                node.ops, zip(operands, operands[1:])
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                literal = _float_literal(left) or _float_literal(right)
+                if literal is not None:
+                    yield self.finding(
+                        src, node,
+                        f"exact float comparison against {literal!r} — "
+                        "use an integer representation, an inequality, "
+                        "or an explicit tolerance",
+                    )
+
+
+def _float_literal(node: ast.AST) -> Optional[float]:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and isinstance(node.operand, ast.Constant)
+        and type(node.operand.value) is float
+    ):
+        return node.operand.value
+    return None
+
+
+# ----------------------------------------------------------------------
+def _calls(tree: Optional[ast.AST]) -> Iterator[ast.Call]:
+    assert tree is not None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+DETERMINISM_RULES: Tuple[type, ...] = (
+    WallClockRule,
+    ModuleRandomRule,
+    BuiltinHashRule,
+    SetIterationRule,
+    IdOrderingRule,
+    FloatEqualityRule,
+)

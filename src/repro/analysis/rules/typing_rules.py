@@ -1,0 +1,103 @@
+"""Strict-typing gate rules for the mypy-strict packages.
+
+``mypy --strict`` is the authoritative gate for ``repro.sim``,
+``repro.validate``, and ``repro.experiments`` (see ``[tool.mypy]`` in
+``pyproject.toml`` and the CI ``typing`` job), but mypy is not always
+installed in minimal dev containers.  These rules enforce the two
+highest-signal strict requirements natively, so ``repro lint`` alone
+catches the regressions that account for nearly all strict-mode churn:
+
+========  ==========================================================
+REP301    a def with unannotated parameters or return type
+REP302    a bare ``# type: ignore`` (must carry an error code)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import FrozenSet, Iterable, List, Tuple
+
+from ..engine import Finding, Rule, SourceFile
+
+#: Packages held to mypy --strict.
+TYPED_SCOPE: FrozenSet[str] = frozenset({"sim", "validate", "experiments"})
+
+_BARE_IGNORE_RE = re.compile(r"#\s*type:\s*ignore(?!\[)")
+
+
+class UntypedDefRule(Rule):
+    """REP301: function definitions missing annotations."""
+
+    id = "REP301"
+    title = "unannotated def in a strictly-typed package"
+    rationale = (
+        "mypy --strict (disallow_untyped_defs) rejects any def missing "
+        "parameter or return annotations; catching it at lint time "
+        "keeps the typing gate green without a local mypy install."
+    )
+    scope = TYPED_SCOPE
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            missing = _missing_annotations(node)
+            if missing:
+                yield self.finding(
+                    src, node,
+                    f"def {node.name}() is missing annotations for "
+                    f"{', '.join(missing)} (mypy --strict will reject it)",
+                )
+
+
+def _missing_annotations(node: ast.FunctionDef) -> List[str]:
+    missing: List[str] = []
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    if positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    for arg in [*positional, *args.kwonlyargs]:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"*{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"**{args.kwarg.arg}")
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+class BareTypeIgnoreRule(Rule):
+    """REP302: ``# type: ignore`` without an error code."""
+
+    id = "REP302"
+    title = "bare type: ignore"
+    rationale = (
+        "A bare ignore suppresses every current and future mypy error "
+        "on the line; scoped ignores (# type: ignore[code]) keep the "
+        "gate meaningful."
+    )
+    scope = TYPED_SCOPE
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for lineno, line in enumerate(src.lines, start=1):
+            if _BARE_IGNORE_RE.search(line):
+                yield Finding(
+                    rule=self.id, severity=self.severity,
+                    path=src.rel, line=lineno,
+                    col=line.index("#") + 1,
+                    message=(
+                        "bare '# type: ignore' hides all errors on this "
+                        "line — scope it as '# type: ignore[error-code]'"
+                    ),
+                )
+
+
+TYPING_RULES: Tuple[type, ...] = (
+    UntypedDefRule,
+    BareTypeIgnoreRule,
+)

@@ -7,6 +7,7 @@ Five subcommands mirror the library's main entry points::
     repro study    --scale 0.15 --seed 3
     repro trace    --pressure moderate --duration 25
     repro validate --level deep
+    repro lint     src/repro --json
 
 Every subcommand prints a human-readable report by default; ``--json``
 emits machine-readable output instead (for notebooks and dashboards).
@@ -219,6 +220,12 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import cmd_lint as run
+
+    return run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -301,6 +308,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bypass the on-disk session result cache")
     validate_p.add_argument("--json", action="store_true")
     validate_p.set_defaults(func=cmd_validate)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="static determinism & contract checks (see "
+             "docs/static-analysis.md)",
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
+    lint_p.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -36,7 +36,7 @@ class RungScore:
 
     @property
     def playable(self) -> bool:
-        return self.crash_rate == 0.0 and self.mean_drop_rate <= PLAYABLE_DROP_RATE
+        return self.crash_rate <= 0.0 and self.mean_drop_rate <= PLAYABLE_DROP_RATE
 
 
 def profile_device(

@@ -12,7 +12,7 @@ end: fixed 60 FPS versus the OnTrimMemory-driven controller.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..core.abr import MemoryAwareAbr
 from ..core.session import DEVICE_FACTORIES, StreamingSession
@@ -42,7 +42,7 @@ class SwitchingRun:
     fps_series: List[float]
     drop_rate: float
     crashed: bool
-    switch_log: List[tuple]
+    switch_log: List[Tuple[float, str, int]]
 
 
 def timed_frame_rate_run(
@@ -57,7 +57,7 @@ def timed_frame_rate_run(
     """Play one session switching the encoded frame rate at scheduled
     offsets: ``schedule`` is [(offset_s, fps), ...]; the first entry
     must be at offset 0 and sets the starting rate."""
-    if not schedule or schedule[0][0] != 0.0:
+    if not schedule or seconds(schedule[0][0]) != 0:
         raise ValueError("schedule must start at offset 0")
     dev = DEVICE_FACTORIES[device](seed=seed)
     session = StreamingSession(
@@ -134,7 +134,7 @@ def memory_aware_comparison(
     duration_s: float = 30.0,
     repetitions: int = 3,
     base_seed: int = 31,
-) -> Dict[str, dict]:
+) -> Dict[str, Dict[str, Any]]:
     """Fixed 60 FPS versus memory-aware ABR under the same pressure."""
     outcomes = {}
     for name, abr_factory in (("fixed", None), ("memory_aware", MemoryAwareAbr)):

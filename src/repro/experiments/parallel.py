@@ -44,6 +44,12 @@ from ..video.player import SessionResult
 #: 2: SessionResult gained lmkd_kills/oom_kills (validation subsystem).
 SCHEMA_VERSION = 2
 
+#: Fingerprint of SessionResult's field list (name + annotation), kept
+#: in lockstep with SCHEMA_VERSION: `repro lint` (REP204) recomputes it
+#: from the dataclass and fails if the fields changed without a
+#: SCHEMA_VERSION bump alongside an updated fingerprint here.
+SCHEMA_FINGERPRINT = "972341064bfabe6a"
+
 #: Seed stride between repetitions of a cell (a prime, so overlapping
 #: sweeps with different base seeds rarely collide).
 SEED_STRIDE = 7919
@@ -241,7 +247,7 @@ def run_sessions(
     """
     store = resolve_cache(cache)
     results: List[Optional[SessionResult]] = [None] * len(specs)
-    keys: dict = {}
+    keys: Dict[int, str] = {}
     fan_out: List[int] = []
     in_process: List[int] = []
     for index, spec in enumerate(specs):

@@ -103,7 +103,7 @@ def run_cell(
     base_seed: int = 100,
     asset: Optional[VideoAsset] = None,
     organic_apps: int = 0,
-    abr=None,
+    abr: Any = None,
     jobs: Optional[int] = None,
     cache: Any = None,
 ) -> CellResult:

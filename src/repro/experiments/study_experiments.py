@@ -9,7 +9,7 @@ the full ~9950-hour study.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..study import analysis
 from ..study.generator import PopulationConfig, generate_population
@@ -40,24 +40,26 @@ def fig1_usage_heatmap(seed: int = 0) -> UsageSurvey:
     return run_usage_survey(n_respondents=48, seed=seed)
 
 
-def fig2_utilization_cdf(devices: Sequence[DeviceLog]) -> List[tuple]:
+def fig2_utilization_cdf(devices: Sequence[DeviceLog]) -> List[Tuple[float, float]]:
     """Figure 2: CDF of per-device median RAM utilization."""
     return analysis.utilization_cdf(devices)
 
 
-def fig3_signal_rates(devices: Sequence[DeviceLog]):
+def fig3_signal_rates(
+    devices: Sequence[DeviceLog],
+) -> List["analysis.SignalRates"]:
     """Figure 3: per-device signals/hour by level versus RAM size."""
     return analysis.signal_rates(devices)
 
 
-def fig4_time_in_states(devices: Sequence[DeviceLog]) -> List[dict]:
+def fig4_time_in_states(devices: Sequence[DeviceLog]) -> List[Dict[str, Any]]:
     """Figure 4: fraction of time per pressure state versus RAM size."""
     return analysis.high_pressure_time_fractions(devices)
 
 
 def fig5_available_by_state(
     devices: Sequence[DeviceLog], count: int = 5
-) -> Dict[str, dict]:
+) -> Dict[str, Dict[str, Any]]:
     """Figure 5: available-memory distributions per state for the
     devices spending the most time under pressure."""
     return {
@@ -66,7 +68,7 @@ def fig5_available_by_state(
     }
 
 
-def fig6_transitions(devices: Sequence[DeviceLog]) -> Dict[str, dict]:
+def fig6_transitions(devices: Sequence[DeviceLog]) -> Dict[str, Dict[str, Any]]:
     """Figure 6: next-state percentages and dwell quartiles."""
     return analysis.transition_stats(devices)
 

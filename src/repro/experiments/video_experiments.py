@@ -29,7 +29,7 @@ def fig8_pss_by_encoding(
     repetitions: int = 3,
     jobs: Optional[int] = None,
     cache: Any = None,
-) -> Dict[Tuple[str, int], dict]:
+) -> Dict[Tuple[str, int], Dict[str, Any]]:
     """Figure 8: client PSS vs resolution and frame rate, no pressure."""
     keys = [(res, fps) for res in resolutions for fps in frame_rates]
     cells = run_cells(
@@ -100,17 +100,17 @@ def drop_grid(
     return dict(zip(keys, cells))
 
 
-def fig9_drops_nokia1(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+def fig9_drops_nokia1(**kwargs: Any) -> Dict[Tuple[str, int, str], CellResult]:
     """Figure 9: average frame drops on the Nokia 1."""
     return drop_grid("nokia1", **kwargs)
 
 
-def fig11_drops_nexus5(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+def fig11_drops_nexus5(**kwargs: Any) -> Dict[Tuple[str, int, str], CellResult]:
     """Figure 11: average frame drops on the Nexus 5."""
     return drop_grid("nexus5", **kwargs)
 
 
-def nexus6p_drops(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+def nexus6p_drops(**kwargs: Any) -> Dict[Tuple[str, int, str], CellResult]:
     """§4.3 text: Nexus 6P trend (drops only at >=720p, peak ~9%)."""
     return drop_grid("nexus6p", **kwargs)
 
@@ -158,11 +158,11 @@ TABLE2_CELLS = ((30, "480p"), (30, "720p"), (60, "480p"), (60, "720p"))
 TABLE3_CELLS = ((30, "720p"), (30, "1080p"), (60, "480p"), (60, "720p"))
 
 
-def table2_crash_nokia1(**kwargs) -> Dict[Tuple[int, str, str], float]:
+def table2_crash_nokia1(**kwargs: Any) -> Dict[Tuple[int, str, str], float]:
     return crash_table("nokia1", TABLE2_CELLS, **kwargs)
 
 
-def table3_crash_nexus5(**kwargs) -> Dict[Tuple[int, str, str], float]:
+def table3_crash_nexus5(**kwargs: Any) -> Dict[Tuple[int, str, str], float]:
     return crash_table("nexus5", TABLE3_CELLS, **kwargs)
 
 
@@ -204,13 +204,13 @@ def fig12_genres(
     return dict(zip(keys, results))
 
 
-def fig18_exoplayer(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+def fig18_exoplayer(**kwargs: Any) -> Dict[Tuple[str, int, str], CellResult]:
     """Figure 18 (Appendix B.1): ExoPlayer on the Nexus 5."""
     kwargs.setdefault("resolutions", ("480p", "720p", "1080p"))
     return drop_grid("nexus5", client="exoplayer", **kwargs)
 
 
-def fig19_chrome(**kwargs) -> Dict[Tuple[str, int, str], CellResult]:
+def fig19_chrome(**kwargs: Any) -> Dict[Tuple[str, int, str], CellResult]:
     """Figure 19 (Appendix B.2): Chrome on the Nexus 5."""
     kwargs.setdefault("resolutions", ("480p", "720p", "1080p"))
     return drop_grid("nexus5", client="chrome", **kwargs)

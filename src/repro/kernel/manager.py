@@ -325,7 +325,13 @@ class MemoryManager:
             candidates = [p for p in self.table.alive if p.oom_adj >= 0]
         if not candidates:
             return
-        victim = max(candidates, key=lambda p: (p.oom_adj, p.pss_pages))
+        # Ties on (oom_adj, pss_pages) break toward the earliest-spawned
+        # candidate — explicitly, so replay stays bit-identical instead
+        # of leaning on max()'s first-maximal behavior.
+        victim = max(
+            enumerate(candidates),
+            key=lambda item: (item[1].oom_adj, item[1].pss_pages, -item[0]),
+        )[1]
         self.kill_process(victim, "oom")
 
     # ------------------------------------------------------------------

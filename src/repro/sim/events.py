@@ -52,7 +52,7 @@ class Event:
         time: Time,
         seq: int,
         fn: Callable[..., Any],
-        args: tuple,
+        args: Tuple[Any, ...],
         label: str = "",
     ) -> None:
         self.time = time
@@ -95,7 +95,7 @@ class EventQueue:
         self,
         time: Time,
         fn: Callable[..., Any],
-        args: tuple = (),
+        args: Tuple[Any, ...] = (),
         label: str = "",
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time`` and return the event."""

@@ -26,16 +26,18 @@ to 250 simulated milliseconds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..kernel.memory import MemoryAccountingError, MemoryState
 from ..kernel.pressure import MemoryPressureLevel, PressureMonitor
-from ..sched.scheduler import SchedClass
+from ..sched.scheduler import SchedClass, Thread
 from ..sched.states import ThreadState
 from ..sim.clock import Time, seconds, to_seconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..device.device import Device
+    from ..video.pipeline import RenderPipeline
+    from ..video.player import VideoPlayer
 
 
 class InvariantViolation(AssertionError):
@@ -89,7 +91,7 @@ class PageConservationChecker(Checker):
         self.sim.on("memory.plan", self._on_event)
         self.sim.on("process.kill", self._on_event)
 
-    def _on_event(self, time: Time, **_payload) -> None:
+    def _on_event(self, time: Time, **_payload: object) -> None:
         self.verify()
 
     def poll(self) -> None:
@@ -142,7 +144,7 @@ class PressureOrderingChecker(Checker):
         self.sim.on("pressure.state", self._on_state)
         self.sim.on("pressure.signal", self._on_signal)
         self.sim.on("kswapd.wake", self._on_kswapd_wake)
-        self._last_signal: Optional[tuple] = None  # (time, level)
+        self._last_signal: Optional[Tuple[Time, MemoryPressureLevel]] = None
         self._changed_since_signal = False
 
     def _expected_level(self) -> MemoryPressureLevel:
@@ -160,7 +162,7 @@ class PressureOrderingChecker(Checker):
         time: Time,
         level: MemoryPressureLevel,
         previous: MemoryPressureLevel,
-        **_payload,
+        **_payload: object,
     ) -> None:
         self._changed_since_signal = True
         if level == previous:
@@ -173,7 +175,7 @@ class PressureOrderingChecker(Checker):
             )
 
     def _on_signal(
-        self, time: Time, level: MemoryPressureLevel, **_payload
+        self, time: Time, level: MemoryPressureLevel, **_payload: object
     ) -> None:
         if level <= MemoryPressureLevel.NORMAL:
             self.report("OnTrimMemory signal emitted at Normal level")
@@ -197,7 +199,7 @@ class PressureOrderingChecker(Checker):
         self._last_signal = (time, level)
         self._changed_since_signal = False
 
-    def _on_kswapd_wake(self, time: Time, **_payload) -> None:
+    def _on_kswapd_wake(self, time: Time, **_payload: object) -> None:
         state = self.device.memory.state
         if state.free >= state.watermarks.low_pages:
             self.report(
@@ -249,7 +251,9 @@ class SchedulerSanityChecker(Checker):
         super().attach(harness)
         self.sim.on("sched.switch", self._on_switch)
 
-    def _on_switch(self, time: Time, thread, core: int, **_payload) -> None:
+    def _on_switch(
+        self, time: Time, thread: Thread, core: int, **_payload: object
+    ) -> None:
         scheduler = self.device.scheduler
         occupied = [c.index for c in scheduler.cores if c.current is thread]
         if occupied != [core]:
@@ -336,7 +340,12 @@ class VideoPipelineChecker(Checker):
         self.sim.on("session.end", self._on_session_end)
 
     def _on_frame(
-        self, time: Time, phase: str, pipeline, in_flight: int, **_payload
+        self,
+        time: Time,
+        phase: str,
+        pipeline: "RenderPipeline",
+        in_flight: int,
+        **_payload: object,
     ) -> None:
         if in_flight < 0:
             self.report(
@@ -353,7 +362,9 @@ class VideoPipelineChecker(Checker):
                 f"+ in flight {in_flight} = {expected}"
             )
 
-    def _on_session_end(self, time: Time, player, **_payload) -> None:
+    def _on_session_end(
+        self, time: Time, player: "VideoPlayer", **_payload: object
+    ) -> None:
         buffer = player.buffer
         if buffer.level_s < -1e-6 or buffer.level_bytes < 0:
             self.report(

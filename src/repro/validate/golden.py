@@ -21,7 +21,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.session import StreamingSession
 from ..video.player import SessionResult
@@ -32,7 +32,7 @@ GOLDEN_DIR_ENV = "REPRO_GOLDEN_DIR"
 #: One canonical session per device profile.  Moderate pressure on the
 #: small-RAM devices exercises the reclaim/kill machinery; the 3 GB
 #: Nexus 6P at normal pressure pins the clean-playback path.
-CANONICAL_SESSIONS: Dict[str, dict] = {
+CANONICAL_SESSIONS: Dict[str, Dict[str, Any]] = {
     "nokia1": dict(
         device="nokia1", resolution="480p", frame_rate=30,
         pressure="moderate", duration_s=15.0, seed=1021,

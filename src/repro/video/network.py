@@ -50,7 +50,7 @@ class TraceLink:
     def __init__(self, trace: Sequence[Tuple[float, float]], rtt_ms: float = 20.0) -> None:
         if not trace:
             raise ValueError("trace must not be empty")
-        if trace[0][0] != 0.0:
+        if seconds(trace[0][0]) != 0:
             raise ValueError("trace must start at time 0")
         times = [point[0] for point in trace]
         if any(b <= a for a, b in zip(times, times[1:])):

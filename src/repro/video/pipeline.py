@@ -129,7 +129,8 @@ class RenderPipeline:
         self._stopped = False
         self._segment: Optional[Segment] = None
         self._fps = 30
-        self._pixels = 0
+        self._resolution = "480p"
+        self._pixels = RESOLUTIONS["480p"].pixels
         self._frames_left_in_segment = 0
         self._deadline: Time = 0
         self._in_flight = 0  # decoded frames queued or being rendered

@@ -1,0 +1,4 @@
+"""REP001 fixture: a file that does not parse."""
+
+def broken(:
+    pass

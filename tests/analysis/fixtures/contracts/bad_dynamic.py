@@ -1,0 +1,6 @@
+"""REP203 fixture: emit() with a computed topic."""
+
+
+def run(bus, kind: str) -> None:
+    bus.emit(f"video.{kind}", frame=1)
+    bus.emit("video." + kind, frame=2)

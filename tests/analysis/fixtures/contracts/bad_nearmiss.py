@@ -1,0 +1,14 @@
+"""REP202 fixture: an emit topic one typo away from a subscription."""
+
+
+def attach(bus) -> None:
+    bus.on("sched.wakeup", handle)
+
+
+def run(bus) -> None:
+    bus.emit("sched.wakeup", thread="t0")   # correct site
+    bus.emit("sched.wakeupp", thread="t1")  # the typo
+
+
+def handle(time, **payload) -> None:
+    pass

@@ -1,0 +1,10 @@
+"""REP201 fixture: a subscription with no emit site anywhere."""
+
+
+def attach(bus) -> None:
+    bus.on("io.complete", handle)
+    bus.emit("io.started", when=0)
+
+
+def handle(time, **payload) -> None:
+    pass

@@ -1,0 +1,14 @@
+"""REP205 fixture: unpicklable callables crossing a process boundary."""
+
+
+def fan_out(pool, specs) -> list:
+    def local_session(spec):
+        return spec.run()
+
+    futures = [pool.submit(local_session, s) for s in specs]
+    futures.append(pool.submit(lambda: 1))
+    return futures
+
+
+def build_spec(SessionSpec, device: str):
+    return SessionSpec(device=device, abr=lambda level: "480p")

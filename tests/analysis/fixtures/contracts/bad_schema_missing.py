@@ -1,0 +1,12 @@
+"""REP204 fixture: SCHEMA_VERSION without a companion fingerprint."""
+
+from dataclasses import dataclass
+
+SCHEMA_VERSION = 3
+
+
+@dataclass
+class SessionResult:
+    device_name: str
+    frames_rendered: int
+    crashed: bool

@@ -1,0 +1,13 @@
+"""REP204 fixture: SessionResult changed but the fingerprint did not."""
+
+from dataclasses import dataclass
+
+SCHEMA_VERSION = 3
+SCHEMA_FINGERPRINT = "0000000000000000"  # stale on purpose
+
+
+@dataclass
+class SessionResult:
+    device_name: str
+    frames_rendered: int
+    crashed: bool

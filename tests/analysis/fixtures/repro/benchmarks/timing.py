@@ -1,0 +1,9 @@
+"""Out-of-scope fixture: wall-clock timing is fine in benchmarks."""
+
+import time
+
+
+def measure(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

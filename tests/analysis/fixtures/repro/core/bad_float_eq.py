@@ -1,0 +1,5 @@
+"""REP106 fixture: exact float comparisons in invariant code."""
+
+
+def playable(crash_rate: float, drop_rate: float) -> bool:
+    return crash_rate == 0.0 and drop_rate != -1.0

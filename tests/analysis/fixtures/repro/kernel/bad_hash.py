@@ -1,0 +1,5 @@
+"""REP103 fixture: builtin hash() in simulation code."""
+
+
+def derive_seed(name: str) -> int:
+    return hash(name) % (2**32)

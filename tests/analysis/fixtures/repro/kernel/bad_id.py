@@ -1,0 +1,5 @@
+"""REP105 fixture: id()-based tie-breaking."""
+
+
+def tie_break(candidates: list) -> object:
+    return max(candidates, key=lambda p: (p.score, id(p)))

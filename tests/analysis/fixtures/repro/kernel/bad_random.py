@@ -1,0 +1,16 @@
+"""REP102 fixture: draws from the process-global random module."""
+
+import random
+from random import choice
+
+
+def jitter() -> float:
+    return random.uniform(0.0, 1.0)
+
+
+def pick(options: list) -> object:
+    return choice(options)
+
+
+def entropy() -> object:
+    return random.SystemRandom()

@@ -1,0 +1,16 @@
+"""REP104 fixture: iterating sets in arbitrary order."""
+
+
+def kill_order(names: list) -> list:
+    victims = {n for n in names if n.startswith("app")}
+    out = []
+    for victim in victims:  # name bound from a set comprehension
+        out.append(victim)
+    for item in {1, 2, 3}:  # set literal
+        out.append(item)
+    out.extend(list(set(names)))  # list(set(...))
+    return out
+
+
+def joined(names: list) -> str:
+    return ",".join(set(names))

@@ -1,0 +1,17 @@
+"""REP101 fixture: wall-clock reads inside the simulation core."""
+
+import datetime
+import time
+from time import perf_counter as pc
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def elapsed() -> float:
+    return pc()
+
+
+def today() -> str:
+    return datetime.datetime.now().isoformat()

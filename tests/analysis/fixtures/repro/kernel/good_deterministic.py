@@ -1,0 +1,20 @@
+"""Clean fixture: the deterministic counterparts of every bad pattern."""
+
+import hashlib
+import random
+
+
+def derive_seed(name: str) -> int:
+    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:4], "big")
+
+
+def kill_order(names: list) -> list:
+    return sorted(set(names))  # sorted() makes the set iteration safe
+
+
+def seeded_jitter(seed: int) -> float:
+    return random.Random(seed).uniform(0.0, 1.0)  # instance, not module
+
+
+def playable(crash_count: int) -> bool:
+    return crash_count == 0  # integer comparison, not float

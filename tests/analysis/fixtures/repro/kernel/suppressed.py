@@ -1,0 +1,19 @@
+"""Suppression fixture: scoped, bare, and non-repro noqa comments."""
+
+import random
+
+
+def scoped() -> float:
+    return random.uniform(0.0, 1.0)  # repro: noqa[REP102]
+
+
+def bare() -> float:
+    return random.uniform(0.0, 1.0)  # repro: noqa
+
+
+def wrong_rule() -> float:
+    return random.uniform(0.0, 1.0)  # repro: noqa[REP101]
+
+
+def plain_noqa() -> float:
+    return random.uniform(0.0, 1.0)  # noqa

@@ -1,0 +1,11 @@
+"""REP302 fixture: bare type: ignore comments."""
+
+import json
+
+
+def load(path: str) -> dict:
+    return json.loads(path)  # type: ignore
+
+
+def load_scoped(path: str) -> dict:
+    return json.loads(path)  # type: ignore[no-any-return]

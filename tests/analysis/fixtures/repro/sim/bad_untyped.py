@@ -1,0 +1,10 @@
+"""REP301 fixture: defs missing annotations in a strict package."""
+
+
+def schedule(delay, callback, *args, **kwargs):
+    return (delay, callback, args, kwargs)
+
+
+class Engine:
+    def run(self, until) -> None:
+        pass

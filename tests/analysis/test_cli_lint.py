@@ -1,0 +1,64 @@
+"""The `repro lint` CLI: exit codes, JSON output, baseline update."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_exit_zero_on_clean_target(monkeypatch):
+    monkeypatch.chdir(FIXTURES)
+    assert main(["repro/kernel/good_deterministic.py"]) == 0
+
+
+def test_exit_one_on_findings(monkeypatch):
+    monkeypatch.chdir(FIXTURES)
+    assert main(["repro/kernel/bad_random.py", "--no-baseline"]) == 1
+
+
+def test_exit_two_on_missing_path(monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    assert main(["does/not/exist"]) == 2
+
+
+def test_list_rules(monkeypatch, capsys):
+    monkeypatch.chdir(FIXTURES)
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP101", "REP201", "REP301"):
+        assert rule_id in out
+
+
+def test_rules_filter(monkeypatch):
+    monkeypatch.chdir(FIXTURES)
+    # bad_random violates REP102 only; filtering to REP101 passes it.
+    assert main([
+        "repro/kernel/bad_random.py", "--no-baseline", "--rules", "REP101",
+    ]) == 0
+
+
+def test_json_output(monkeypatch, capsys):
+    monkeypatch.chdir(FIXTURES)
+    assert main(["repro/kernel/bad_random.py", "--no-baseline", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["summary"]["new"] == len(payload["findings"])
+
+
+def test_update_baseline_then_green(monkeypatch, tmp_path):
+    """--update-baseline grandfathers current findings, like
+    `repro validate --update-golden` re-records digests."""
+    monkeypatch.chdir(FIXTURES)
+    baseline = tmp_path / "baseline.json"
+    bad = "repro/kernel/bad_random.py"
+    assert main([bad, "--baseline", str(baseline), "--no-baseline"]) == 1
+    assert main([bad, "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert baseline.exists()
+    # Grandfathered now: same findings no longer fail the run.
+    assert main([bad, "--baseline", str(baseline)]) == 0
+    # A new violation on top of the baseline still fails.
+    assert main([
+        bad, "repro/kernel/bad_hash.py", "--baseline", str(baseline),
+    ]) == 1

@@ -1,0 +1,62 @@
+"""Each determinism rule fires on its bad fixture and not on the good one."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(rel_path, rule):
+    result = run_lint(
+        [FIXTURES / rel_path], root=FIXTURES, use_baseline=False,
+        only_rules=[rule],
+    )
+    return result.findings
+
+
+@pytest.mark.parametrize("rel_path,rule,expected", [
+    ("repro/kernel/bad_wallclock.py", "REP101", 3),
+    ("repro/kernel/bad_random.py", "REP102", 3),
+    ("repro/kernel/bad_hash.py", "REP103", 1),
+    ("repro/kernel/bad_id.py", "REP105", 1),
+    ("repro/core/bad_float_eq.py", "REP106", 2),
+])
+def test_bad_fixture_finding_counts(rel_path, rule, expected):
+    found = findings_for(rel_path, rule)
+    assert len(found) == expected
+    assert all(f.rule == rule for f in found)
+
+
+def test_set_iteration_flags_every_shape():
+    found = findings_for("repro/kernel/bad_set_iter.py", "REP104")
+    contexts = {f.message.split(" iterates")[0] for f in found}
+    # for-over-bound-name, for-over-literal, list(set(...)), str.join(set)
+    assert len(found) == 4
+    assert "for loop" in contexts
+    assert "list()" in contexts
+    assert "str.join()" in contexts
+
+
+def test_wallclock_resolves_import_aliases():
+    found = findings_for("repro/kernel/bad_wallclock.py", "REP101")
+    messages = " ".join(f.message for f in found)
+    assert "time.perf_counter" in messages  # via `from time import ... as pc`
+    assert "datetime.datetime.now" in messages
+
+
+def test_good_fixture_is_clean():
+    result = run_lint(
+        [FIXTURES / "repro/kernel/good_deterministic.py"],
+        root=FIXTURES, use_baseline=False,
+    )
+    assert result.ok
+
+
+def test_typing_rules_fire_in_strict_scope():
+    untyped = findings_for("repro/sim/bad_untyped.py", "REP301")
+    assert len(untyped) == 2  # module def + method missing a param
+    ignores = findings_for("repro/sim/bad_ignore.py", "REP302")
+    assert len(ignores) == 1  # the scoped ignore on the later line is fine
