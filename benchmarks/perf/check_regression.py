@@ -1,0 +1,125 @@
+"""CI perf-regression gate.
+
+Compares a freshly-measured benchmark snapshot against the most recent
+committed ``BENCH_<date>.json`` and fails (exit 1) when either guarded
+metric regressed by more than the threshold (default 25%):
+
+* ``engine_ops_per_sec.run_loop`` — engine event throughput (higher is
+  better);
+* ``end_to_end_session_pair_s`` — wall-clock of the canonical Nexus 5
+  session pair (lower is better).
+
+The generous threshold absorbs runner-to-runner hardware variance (the
+committed baselines come from whatever machine cut the PR); the gate
+exists to catch structural regressions — an accidentally-disabled fast
+path shows up as 2×, not 25%.
+
+Usage::
+
+    python -m benchmarks.perf.check_regression --fresh /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Committed snapshot filename pattern: BENCH_<date>.json plus the
+#: same-day suffix scheme of ``harness.bench_path``.
+BENCH_PATTERN = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})(?:\.(\d+))?\.json$")
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def bench_sort_key(path: Path) -> Optional[Tuple[str, int]]:
+    match = BENCH_PATTERN.match(path.name)
+    if match is None:
+        return None
+    return (match.group(1), int(match.group(2) or 1))
+
+
+def latest_bench(root: Path) -> Optional[Path]:
+    """The most recent committed snapshot under ``root`` (by date, then
+    same-day suffix), or None when the repo has no baseline yet."""
+    candidates = [
+        (key, path)
+        for path in root.glob("BENCH_*.json")
+        if (key := bench_sort_key(path)) is not None
+    ]
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def _end_to_end(results: Dict[str, Any]) -> Optional[float]:
+    entry = results.get("end_to_end_session_pair_s")
+    if isinstance(entry, dict):
+        entry = entry.get("this_pr")
+    return float(entry) if entry is not None else None
+
+
+def _run_loop(results: Dict[str, Any]) -> Optional[float]:
+    entry = results.get("engine_ops_per_sec", {}).get("run_loop")
+    return float(entry) if entry is not None else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.perf.check_regression")
+    parser.add_argument("--fresh", required=True,
+                        help="snapshot measured on this checkout")
+    parser.add_argument("--baseline", default=None,
+                        help="explicit baseline (default: latest committed "
+                             "BENCH_*.json under --root)")
+    parser.add_argument("--root", default=".",
+                        help="directory holding committed BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args(argv)
+
+    if args.baseline is not None:
+        baseline_path: Optional[Path] = Path(args.baseline)
+    else:
+        baseline_path = latest_bench(Path(args.root))
+    if baseline_path is None:
+        print("perf gate: no committed BENCH_*.json baseline; skipping")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())["results"]
+    fresh = json.loads(Path(args.fresh).read_text())["results"]
+    threshold = args.threshold
+    failures = []
+
+    base_ops = _run_loop(baseline)
+    fresh_ops = _run_loop(fresh)
+    if base_ops is not None and fresh_ops is not None:
+        floor = base_ops * (1.0 - threshold)
+        verdict = "ok" if fresh_ops >= floor else "REGRESSED"
+        print(f"run_loop: {fresh_ops:,.0f} ops/s vs baseline "
+              f"{base_ops:,.0f} (floor {floor:,.0f}) -> {verdict}")
+        if fresh_ops < floor:
+            failures.append("run_loop")
+
+    base_pair = _end_to_end(baseline)
+    fresh_pair = _end_to_end(fresh)
+    if base_pair is not None and fresh_pair is not None:
+        ceiling = base_pair * (1.0 + threshold)
+        verdict = "ok" if fresh_pair <= ceiling else "REGRESSED"
+        print(f"end_to_end_session_pair_s: {fresh_pair:.3f}s vs baseline "
+              f"{base_pair:.3f}s (ceiling {ceiling:.3f}s) -> {verdict}")
+        if fresh_pair > ceiling:
+            failures.append("end_to_end_session_pair_s")
+
+    if failures:
+        print(f"perf gate FAILED ({', '.join(failures)}) against "
+              f"{baseline_path.name}", file=sys.stderr)
+        return 1
+    print(f"perf gate passed against {baseline_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,9 +37,19 @@ def time_once(fn: Callable[[], Any]) -> float:
 
 
 def bench_path(out_dir: Path | str = ".") -> Path:
-    """Default output path: ``BENCH_<ISO date>.json`` in ``out_dir``."""
+    """Default output path: ``BENCH_<ISO date>.json`` in ``out_dir``.
+
+    Never clobbers an existing snapshot: a second run on the same day
+    (or a PR landing on its baseline's date) gets a ``.2``, ``.3``, ...
+    suffix, so the previous numbers stay comparable.
+    """
     today = datetime.date.today().isoformat()
-    return Path(out_dir) / f"BENCH_{today}.json"
+    path = Path(out_dir) / f"BENCH_{today}.json"
+    counter = 2
+    while path.exists():
+        path = Path(out_dir) / f"BENCH_{today}.{counter}.json"
+        counter += 1
+    return path
 
 
 def write_bench(path: Path | str, results: Dict[str, Any]) -> Path:

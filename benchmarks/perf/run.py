@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import json
 
-from . import bench_engine, bench_sweep
+from . import bench_end_to_end, bench_engine, bench_sweep
 from .harness import bench_path, write_bench
 
 
@@ -27,11 +27,18 @@ def main(argv=None) -> int:
                         help="worker processes for the parallel sweep leg")
     parser.add_argument("--skip-sweep", action="store_true",
                         help="microbenchmarks only")
+    parser.add_argument("--skip-end-to-end", action="store_true",
+                        help="skip the canonical session-pair macrobench")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<date>.json in cwd)")
     args = parser.parse_args(argv)
 
     results = {"engine_ops_per_sec": bench_engine.run(quick=args.quick)}
+    if not args.skip_end_to_end:
+        pair = bench_end_to_end.run(quick=args.quick)
+        results["end_to_end_session_pair_s"] = {
+            "this_pr": pair["end_to_end_session_pair_s"],
+        }
     if not args.skip_sweep:
         results["sweep"] = bench_sweep.run(jobs=args.jobs, quick=args.quick)
 

@@ -15,6 +15,7 @@ REP103    builtin ``hash()`` (salted per process via PYTHONHASHSEED)
 REP104    iteration over a ``set``/``frozenset`` (arbitrary order)
 REP105    ``id()``-based ordering or tie-breaking (address-dependent)
 REP106    float ``==``/``!=`` against float literals in invariant code
+REP108    hand-rolled self-rescheduling poll loop (use PeriodicService)
 ========  ==========================================================
 
 ``benchmarks/`` is intentionally outside every scope: wall-clock timing
@@ -24,6 +25,7 @@ is the whole point there.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..engine import Finding, ImportMap, Rule, SourceFile
@@ -299,6 +301,90 @@ class FloatEqualityRule(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+class SelfReschedulingLoopRule(Rule):
+    """REP108: hand-rolled self-rescheduling periodic poll loop."""
+
+    id = "REP108"
+    title = "hand-rolled self-rescheduling poll loop"
+    rationale = (
+        "A callback that re-schedules itself with a period-like delay "
+        "re-implements PeriodicService minus its guarantees: the stop "
+        "contract, the double-arm guard, and the fixed re-arm position "
+        "that keeps event sequence numbers (and therefore golden "
+        "traces) stable.  Use repro.sim.PeriodicService instead."
+    )
+    scope = DETERMINISM_SCOPE | frozenset({"trace", "validate"})
+
+    #: Delay identifiers that mark the call as periodic rather than a
+    #: one-shot retry/backoff (which legitimately self-reschedules).
+    PERIOD_NAME = re.compile(r"(?i)(?:^|_)(?:period|interval)s?(?:_|$)")
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        assert src.tree is not None
+        findings: List[Finding] = []
+        self._visit_body(src, src.tree, enclosing=None, findings=findings)
+        return findings
+
+    def _visit_body(
+        self,
+        src: SourceFile,
+        node: ast.AST,
+        enclosing: Optional[str],
+        findings: List[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit_body(src, child, child.name, findings)
+            elif isinstance(child, (ast.ClassDef, ast.Lambda)):
+                self._visit_body(src, child, None, findings)
+            else:
+                value = getattr(child, "value", None)
+                if (
+                    enclosing is not None
+                    and isinstance(child, (ast.Expr, ast.Assign, ast.AnnAssign))
+                    and isinstance(value, ast.Call)
+                    and self._is_self_reschedule(value, enclosing)
+                ):
+                    findings.append(self.finding(
+                        src, value,
+                        f"{enclosing}() re-schedules itself with a "
+                        "period-like delay — replace the hand-rolled loop "
+                        "with repro.sim.PeriodicService",
+                    ))
+                self._visit_body(src, child, enclosing, findings)
+
+    def _is_self_reschedule(self, call: ast.Call, enclosing: str) -> bool:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "schedule"
+            and len(call.args) >= 2
+        ):
+            return False
+        callback = call.args[1]
+        if isinstance(callback, ast.Attribute):
+            callback_name: Optional[str] = callback.attr
+        elif isinstance(callback, ast.Name):
+            callback_name = callback.id
+        else:
+            callback_name = None
+        if callback_name != enclosing:
+            return False
+        return any(
+            self.PERIOD_NAME.search(name)
+            for name in _mentioned_names(call.args[0])
+        )
+
+
+def _mentioned_names(node: ast.AST) -> Iterator[str]:
+    """Every identifier mentioned anywhere in an expression."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
 def _float_literal(node: ast.AST) -> Optional[float]:
     if isinstance(node, ast.Constant) and type(node.value) is float:
         return node.value
@@ -327,4 +413,5 @@ DETERMINISM_RULES: Tuple[type, ...] = (
     SetIterationRule,
     IdOrderingRule,
     FloatEqualityRule,
+    SelfReschedulingLoopRule,
 )

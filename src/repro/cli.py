@@ -226,6 +226,31 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run(args)
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Thin wrapper over ``benchmarks.perf.run`` (the perf harness lives
+    alongside the repo, not inside the installed package)."""
+    try:
+        from benchmarks.perf import run as perf_run
+    except ImportError:
+        print(
+            "repro bench requires the repository's benchmarks/ package "
+            "on sys.path (run from the repo root).",
+            file=sys.stderr,
+        )
+        return 2
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.skip_sweep:
+        argv.append("--skip-sweep")
+    if args.skip_end_to_end:
+        argv.append("--skip-end-to-end")
+    argv.extend(["--jobs", str(args.jobs)])
+    if args.out:
+        argv.extend(["--out", args.out])
+    return perf_run.main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -318,6 +343,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint_p)
     lint_p.set_defaults(func=cmd_lint)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the perf benchmarks and write a BENCH_<date>.json",
+    )
+    bench_p.add_argument("--quick", action="store_true",
+                         help="small op counts / one-cell sweep (CI smoke)")
+    bench_p.add_argument("--jobs", type=int, default=4,
+                         help="worker processes for the parallel sweep leg")
+    bench_p.add_argument("--skip-sweep", action="store_true",
+                         help="microbenchmarks only")
+    bench_p.add_argument("--skip-end-to-end", action="store_true",
+                         help="skip the canonical session-pair macrobench")
+    bench_p.add_argument("--out", default=None,
+                         help="output path (default BENCH_<date>.json in cwd)")
+    bench_p.set_defaults(func=cmd_bench)
 
     return parser
 

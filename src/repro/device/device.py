@@ -23,6 +23,7 @@ from ..sched.cpu import make_cores
 from ..sched.scheduler import SchedClass, Scheduler
 from ..sim.clock import millis, seconds
 from ..sim.engine import Simulator
+from ..sim.periodic import PeriodicService
 from .profiles import DeviceProfile, nexus5_profile, nexus6p_profile, nokia1_profile
 from .storage import StorageDevice
 
@@ -115,9 +116,9 @@ class Device:
             burst = period * duty * rng.lognormvariate(0.0, 0.3)
             if burst >= 1.0:
                 thread.post(burst, label="sysduty")
-            self.sim.schedule(period, tick, label="sysduty")
 
-        tick()
+        # System services never stop; the first burst lands inline.
+        PeriodicService(self.sim, period, tick, label="sysduty").fire()
 
     def _watch_for_respawn(self, process: MemProcess, slot: int, size_mb: float) -> None:
         """Android aggressively re-caches processes: when a cached app is

@@ -33,7 +33,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.session import StreamingSession
 from ..video.encoding import VideoAsset
@@ -223,13 +223,39 @@ def run_spec(spec: SessionSpec) -> SessionResult:
     return session.run()
 
 
+def _available_cores() -> int:
+    """Cores this process may actually use, never less than one.
+
+    ``os.cpu_count`` reports the host's cores even inside a container
+    or cpuset that restricts us to fewer, so prefer the scheduling
+    affinity mask where the platform has one.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
 def effective_jobs(jobs: Optional[int], n_tasks: int) -> int:
-    """Worker count: None/1 = serial, 0 or negative = all cores."""
+    """Worker count: None/1 = serial, 0 or negative = all usable cores,
+    always clamped to at least one worker."""
     if jobs is None:
         return 1
     if jobs <= 0:
-        jobs = os.cpu_count() or 1
+        jobs = _available_cores()
     return max(1, min(jobs, n_tasks))
+
+
+def run_spec_chunk(specs: Sequence[SessionSpec]) -> List[SessionResult]:
+    """Execute a chunk of session jobs in order (worker entry point).
+
+    Chunking amortizes process-pool overhead: one pickle round-trip
+    (task submit + result return) covers ``len(specs)`` sessions
+    instead of one.  Each job is still fully determined by its spec, so
+    the chunk's results are the concatenation of what ``run_spec``
+    would return job by job.
+    """
+    return [run_spec(spec) for spec in specs]
 
 
 def run_sessions(
@@ -266,13 +292,29 @@ def run_sessions(
             for index in fan_out:
                 results[index] = run_spec(specs[index])
         else:
+            # Batched dispatch: K consecutive jobs per pool task, so a
+            # sweep pays one pickle round-trip per chunk rather than
+            # per session.  Four chunks per worker keeps the tail
+            # balanced (a slow chunk overlaps others' remaining work)
+            # while still amortizing the per-task cost.  Placement
+            # stays by submission index: each chunk carries its
+            # indices, and results land in the slots those indices
+            # name, so completion order remains irrelevant.
+            chunk_size = max(1, -(-len(fan_out) // (n_workers * 4)))
+            chunks = [
+                fan_out[start:start + chunk_size]
+                for start in range(0, len(fan_out), chunk_size)
+            ]
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 futures = {
-                    pool.submit(run_spec, specs[index]): index
-                    for index in fan_out
+                    pool.submit(
+                        run_spec_chunk, [specs[index] for index in chunk]
+                    ): chunk
+                    for chunk in chunks
                 }
                 for future in as_completed(futures):
-                    results[futures[future]] = future.result()
+                    for index, result in zip(futures[future], future.result()):
+                        results[index] = result
     # Shared-instance ABR jobs: run in submission order, in-process, so
     # their cross-repetition state evolves exactly as a serial run's.
     for index in in_process:

@@ -359,9 +359,16 @@ class MemoryManager:
         # Anonymous pages: compress into zRAM (bounded by its disksize —
         # once zRAM is full, anon memory becomes unreclaimable, scans
         # keep failing, and the pressure metric climbs).
+        state = self.state
         for process, from_hot, n in plan.anon_taken:
             pools = process.pools
-            n = min(n, self.state.zram_capacity_left)
+            # state.zram_capacity_left inlined (zram_stored moves every
+            # iteration via swap_out, so it must be re-read each time).
+            capacity_left = state.zram_disksize - state.zram_stored
+            if capacity_left < 0:
+                capacity_left = 0
+            if n > capacity_left:
+                n = capacity_left
             if from_hot:
                 n = min(n, pools.anon_hot)
                 pools.anon_hot -= n
@@ -371,7 +378,7 @@ class MemoryManager:
                 pools.anon_cold -= n
                 pools.swapped_cold += n
             if n > 0:
-                freed_now += self.state.swap_out(n)
+                freed_now += state.swap_out(n)
                 self.vmstat.pswpout += n
 
         # File pages: split clean (drop now) versus dirty (writeback).

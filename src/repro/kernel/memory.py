@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from math import ceil as _ceil
 
 PAGE_SIZE_KB = 4
 PAGES_PER_MB = 1024 // PAGE_SIZE_KB  # 256
@@ -225,15 +226,22 @@ class MemoryState:
         """
         if n > self.anon:
             raise MemoryAccountingError(f"swap_out {n} > anon {self.anon}")
-        if n > self.zram_capacity_left:
+        stored = self.zram_stored
+        capacity_left = self.zram_disksize - stored
+        if capacity_left < 0:
+            capacity_left = 0
+        if n > capacity_left:
             raise MemoryAccountingError(
-                f"swap_out {n} exceeds zram capacity {self.zram_capacity_left}"
+                f"swap_out {n} exceeds zram capacity {capacity_left}"
             )
-        used_before = self.zram_used
+        # zram_used inlined twice (hot: every reclaim pass swaps):
+        # physical pages are ceil(stored / ratio) before and after.
+        ratio = self.zram_ratio
+        used_before = _ceil(stored / ratio)
+        stored += n
         self.anon -= n
-        self.zram_stored += n
-        growth = self.zram_used - used_before
-        net = n - growth
+        self.zram_stored = stored
+        net = n - (_ceil(stored / ratio) - used_before)
         self.free += net
         return net
 

@@ -19,6 +19,7 @@ from typing import Callable, List, Tuple
 
 from ..sim.clock import Time, seconds
 from ..sim.engine import Simulator
+from ..sim.periodic import PeriodicService
 from .process import ProcessTable
 
 
@@ -91,7 +92,13 @@ class PressureMonitor:
         self.state_log: List[Tuple[Time, MemoryPressureLevel]] = [
             (0, MemoryPressureLevel.NORMAL)
         ]
-        sim.schedule(self.POLL_INTERVAL, self._poll, label="pressure:poll")
+        #: Periodic level recomputation (there used to be two copies of
+        #: this poll loop — the bootstrap schedule here and the re-arm
+        #: in the handler; the service is now the single copy).
+        self._poll_service = PeriodicService(
+            sim, self.POLL_INTERVAL, self.update, label="pressure:poll"
+        )
+        self._poll_service.start()
 
     # ------------------------------------------------------------------
     def subscribe(self, callback: SignalCallback) -> None:
@@ -135,10 +142,6 @@ class PressureMonitor:
         self.sim.emit("pressure.signal", level=level)
         for callback in self._subscribers:
             callback(level, self.sim.now)
-
-    def _poll(self) -> None:
-        self.update()
-        self.sim.schedule(self.POLL_INTERVAL, self._poll, label="pressure:poll")
 
     # ------------------------------------------------------------------
     def time_in_levels(self, horizon: Time) -> dict:

@@ -39,7 +39,7 @@ class OomAdj:
     CACHED_MAX = 999
 
 
-@dataclass
+@dataclass(slots=True)
 class PagePools:
     """Per-process page pools, all in 4 KiB pages."""
 
@@ -76,6 +76,11 @@ class PagePools:
 
 class MemProcess:
     """A process as the memory manager sees it."""
+
+    __slots__ = (
+        "name", "oom_adj", "dirty_fraction", "pools", "alive",
+        "threads", "on_kill",
+    )
 
     def __init__(
         self,
@@ -139,7 +144,13 @@ class ProcessTable:
     def cached_count(self) -> int:
         """Number of cached/empty processes in the LRU list — the
         quantity Android's pressure thresholds are defined over."""
-        return sum(1 for p in self.processes if p.is_cached)
+        count = 0
+        cached_min = OomAdj.CACHED_MIN
+        for p in self.processes:
+            # is_cached inlined (this count gates every pressure poll).
+            if p.alive and p.oom_adj >= cached_min:
+                count += 1
+        return count
 
     def kill_candidates(self, min_adj: int) -> List[MemProcess]:
         """Alive processes eligible at ``min_adj``, worst (highest adj)

@@ -22,7 +22,8 @@ behind the paper's frame drops.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from operator import attrgetter
+from typing import List, Optional, Tuple
 
 from .process import MemProcess
 
@@ -59,11 +60,17 @@ class ReclaimPlan:
 
     @property
     def file_pages(self) -> int:
-        return sum(n for _, _, n in self.file_taken)
+        total = 0
+        for _, _, n in self.file_taken:
+            total += n
+        return total
 
     @property
     def anon_pages(self) -> int:
-        return sum(n for _, _, n in self.anon_taken)
+        total = 0
+        for _, _, n in self.anon_taken:
+            total += n
+        return total
 
     @property
     def selected(self) -> int:
@@ -92,7 +99,7 @@ def _reclaim_order(processes: List[MemProcess]) -> List[MemProcess]:
     """Victim scan order: least-important (highest oom_adj) first."""
     return sorted(
         (p for p in processes if p.alive),
-        key=lambda p: p.oom_adj,
+        key=attrgetter("oom_adj"),
         reverse=True,
     )
 
@@ -114,41 +121,44 @@ def build_plan(
     plan = ReclaimPlan()
     remaining = target_pages
     order = _reclaim_order(processes)
+    file_taken = plan.file_taken
+    anon_taken = plan.anon_taken
 
-    def proportional_pass(
-        pool_names, from_hot: bool, scan_divisor: float, skip_protected: bool
+    def run_shares(
+        sources, total_available: int, from_hot: bool,
+        scan_divisor: Optional[float],
     ) -> None:
-        """Take a share of each process's pools proportional to its pool
-        size — the global LRU does not respect process boundaries, so a
+        """Take a share of each source proportional to its pool size —
+        the global LRU does not respect process boundaries, so a
         freshly-restarted background app and the foreground client both
-        contribute pages in proportion to what they hold."""
+        contribute pages in proportion to what they hold.
+
+        ``sources`` is a list of (process, destination list, available)
+        built by the callers below with direct attribute reads — this
+        loop dominates build_plan's profile, so the pool lookup is kept
+        out of it entirely.
+        """
         nonlocal remaining
-        if remaining <= 0:
-            return
-        sources = []
-        total_available = 0
-        for proc in order:
-            if skip_protected and proc in protect:
-                continue
-            for pool_name in pool_names:
-                available = getattr(proc.pools, pool_name)
-                if available > 0:
-                    sources.append((proc, pool_name, available))
-                    total_available += available
-        if total_available == 0:
-            return
         goal = min(remaining, total_available)
-        for proc, pool_name, available in sources:
+        scanned = 0
+        for proc, taken_list, available in sources:
             if remaining <= 0:
                 break
-            take = min(available, remaining,
-                       max(1, round(goal * available / total_available)))
-            plan.scanned += round(take / scan_divisor)
-            taken_list = (
-                plan.anon_taken if pool_name.startswith("anon") else plan.file_taken
-            )
+            # min(available, remaining, max(1, round(share))) as chained
+            # clamps.
+            take = round(goal * available / total_available)
+            if take < 1:
+                take = 1
+            if take > available:
+                take = available
+            if take > remaining:
+                take = remaining
+            # scan_divisor None means 1.0 (whole pages scanned — avoids
+            # a float division and round per source on the cold pass).
+            scanned += take if scan_divisor is None else round(take / scan_divisor)
             taken_list.append((proc, from_hot, take))
             remaining -= take
+        plan.scanned += scanned
 
     # The LRU is approximate: even with cold pages on hand, a share of
     # every scan demotes and reclaims recently-referenced (hot) pages —
@@ -160,19 +170,52 @@ def build_plan(
 
     # Pass 1: cold pages — full reclaim efficiency, no protection (the
     # kernel happily drops anyone's unreferenced pages).
-    proportional_pass(("file_cold", "anon_cold"), from_hot=False,
-                      scan_divisor=1.0, skip_protected=False)
+    if remaining > 0:
+        sources = []
+        total = 0
+        for proc in order:
+            pools = proc.pools
+            available = pools.file_cold
+            if available > 0:
+                sources.append((proc, file_taken, available))
+                total += available
+            available = pools.anon_cold
+            if available > 0:
+                sources.append((proc, anon_taken, available))
+                total += available
+        if total:
+            run_shares(sources, total, from_hot=False, scan_divisor=None)
     remaining += hot_share
     if remaining <= 0 or not allow_hot:
         return plan
 
+    divisor = max(efficiency, 1e-3)
     # Pass 2: hot FILE pages across all processes — the page cache
     # (including the foreground client's media buffers) is cheaper to
     # evict than anon working sets, which is why streaming clients
     # refault from disk under pressure (§5's mmcqd interference).
-    proportional_pass(("file_hot",), from_hot=True,
-                      scan_divisor=max(efficiency, 1e-3), skip_protected=True)
+    sources = []
+    total = 0
+    for proc in order:
+        if proc in protect:
+            continue
+        available = proc.pools.file_hot
+        if available > 0:
+            sources.append((proc, file_taken, available))
+            total += available
+    if total:
+        run_shares(sources, total, from_hot=True, scan_divisor=divisor)
     # Pass 3: hot anon — compressed to zRAM, last resort.
-    proportional_pass(("anon_hot",), from_hot=True,
-                      scan_divisor=max(efficiency, 1e-3), skip_protected=True)
+    if remaining > 0:
+        sources = []
+        total = 0
+        for proc in order:
+            if proc in protect:
+                continue
+            available = proc.pools.anon_hot
+            if available > 0:
+                sources.append((proc, anon_taken, available))
+                total += available
+        if total:
+            run_shares(sources, total, from_hot=True, scan_divisor=divisor)
     return plan

@@ -32,12 +32,18 @@ class VmStat:
     oom_kills: int = 0
 
     _window: Deque[Tuple[Time, int, int]] = field(default_factory=deque, repr=False)
+    #: Running sums over ``_window`` — integer arithmetic, so they are
+    #: exactly the re-summed values without walking the deque each poll.
+    _window_scanned: int = field(default=0, repr=False)
+    _window_reclaimed: int = field(default=0, repr=False)
 
     def record_scan(self, now: Time, scanned: int, reclaimed: int) -> None:
         """Record one reclaim batch for the windowed pressure metric."""
         self.pgscan += scanned
         self.pgsteal += reclaimed
         self._window.append((now, scanned, reclaimed))
+        self._window_scanned += scanned
+        self._window_reclaimed += reclaimed
 
     def pressure(self, now: Time, window: Time = seconds(1.0)) -> float:
         """The lmkd pressure metric over the trailing ``window`` ticks.
@@ -46,11 +52,15 @@ class VmStat:
         scanned recently (no reclaim activity means no memory pressure).
         """
         cutoff = now - window
-        while self._window and self._window[0][0] < cutoff:
-            self._window.popleft()
-        scanned = sum(entry[1] for entry in self._window)
+        win = self._window
+        while win and win[0][0] < cutoff:
+            _, scanned, reclaimed = win.popleft()
+            self._window_scanned -= scanned
+            self._window_reclaimed -= reclaimed
+        scanned = self._window_scanned
         if scanned == 0:
             return 0.0
-        reclaimed = sum(entry[2] for entry in self._window)
-        reclaimed = min(reclaimed, scanned)
+        reclaimed = self._window_reclaimed
+        if reclaimed > scanned:
+            reclaimed = scanned
         return (1.0 - reclaimed / scanned) * 100.0

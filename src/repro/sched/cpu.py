@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .scheduler import Thread
 
 
-@dataclass
+@dataclass(slots=True)
 class Core:
     """One CPU core.
 
@@ -35,6 +35,15 @@ class Core:
     slice_end_event: object = None
     slice_started: Time = 0
     busy_time: Time = field(default=0)
+    #: Quantum-elision state (owned by the scheduler): while
+    #: ``elide_event`` is armed, the core runs a single analytically
+    #: fast-forwarded slice chain that began at ``elide_from`` with
+    #: ``elide_work`` reference-us outstanding, and ``busy_time`` /
+    #: ``slice_started`` are stale until the scheduler materializes or
+    #: completes the elision.
+    elide_event: object = None
+    elide_from: Time = 0
+    elide_work: float = 0.0
 
     def work_to_time(self, ref_us: float) -> Time:
         """Wall ticks needed to execute ``ref_us`` of reference work here."""

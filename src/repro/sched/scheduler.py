@@ -94,6 +94,12 @@ class Thread:
     transitions are owned by the scheduler.
     """
 
+    __slots__ = (
+        "name", "sched_class", "scheduler", "process", "queue",
+        "accounting", "last_core", "slice_label", "allowed_cores",
+        "migrations", "preemptions_suffered", "dead",
+    )
+
     def __init__(
         self,
         name: str,
@@ -108,6 +114,10 @@ class Thread:
         self.queue: Deque[Any] = deque()
         self.accounting = StateAccounting(ThreadState.SLEEPING, scheduler.sim.now)
         self.last_core: Optional[int] = None
+        #: Precomputed event label for this thread's slice events (the
+        #: scheduler arms one per quantum — formatting it every time
+        #: shows up in profiles).
+        self.slice_label = f"slice:{name}"
         #: Restrict scheduling to these core indices (None = any core).
         #: Implements the §7 suggestion of coordinating daemon/core
         #: placement to cut migration overhead.
@@ -174,6 +184,12 @@ class Scheduler:
         self._rq: tuple = tuple(self._runqueues[cls] for cls in SchedClass)
         self.context_switches = 0
         self.preemption_count = 0
+        #: Cores currently running an elided (fast-forwarded) slice
+        #: chain; see :meth:`_arm_slice_end`.
+        self._elided_count = 0
+        #: Interior quantum boundaries that were retired analytically
+        #: instead of firing a ``slice_end`` event (perf telemetry).
+        self.elided_slices = 0
 
     # ------------------------------------------------------------------
     # Thread lifecycle
@@ -193,6 +209,12 @@ class Scheduler:
         """Terminate a thread: drop queued work, free its core if running."""
         if thread.dead:
             return
+        # Re-chop elided slices first: the accounting below (and the
+        # dispatch that follows) needs every core's busy_time,
+        # slice_started, and slice event to be live.  Must happen
+        # before the queue is cleared — replay reads the head item.
+        if self._elided_count:
+            self._materialize_all()
         thread.dead = True
         thread.queue.clear()
         if thread.state is ThreadState.RUNNING:
@@ -213,7 +235,7 @@ class Scheduler:
         if thread.dead:
             return
         thread.queue.append(item)
-        if thread.state is ThreadState.SLEEPING:
+        if thread.accounting.current is ThreadState.SLEEPING:
             self._advance(thread)
 
     def io_complete(self, thread: Thread) -> None:
@@ -235,36 +257,70 @@ class Scheduler:
         """Process the head of ``thread``'s queue from an idle state."""
         if thread.dead:
             return
-        while thread.queue and isinstance(thread.queue[0], IoWait):
-            item = thread.queue[0]
-            if not item.started:
-                item.started = True
-                self._transition(thread, ThreadState.UNINTERRUPTIBLE)
-                item.start()
+        queue = thread.queue
+        if queue:
+            item = queue[0]
+            if isinstance(item, IoWait):
+                if not item.started:
+                    item.started = True
+                    self._transition(thread, ThreadState.UNINTERRUPTIBLE)
+                    item.start()
+                # Else: already started and not yet complete — stay
+                # blocked.
                 return
-            # Already started and not yet complete: stay blocked.
-            return
-        if not thread.queue:
-            if thread.state is not ThreadState.SLEEPING:
+        else:
+            if thread.accounting.current is not ThreadState.SLEEPING:
                 self._transition(thread, ThreadState.SLEEPING)
             return
         # Head is CPU work: become runnable and try to get a core.
-        if thread.state not in (
+        if thread.accounting.current not in (
             ThreadState.RUNNABLE,
             ThreadState.RUNNABLE_PREEMPTED,
             ThreadState.RUNNING,
         ):
+            # A thread is entering a runqueue: every elided core this
+            # thread could rotate with or preempt must re-arm real
+            # quanta first, so those decisions see live slice state.
+            # Cores running strictly higher-priority threads are
+            # untouchable by this waiter (the explicit chain would
+            # re-arm through it without consulting them) and stay
+            # elided.
+            if self._elided_count:
+                self._materialize_lower(thread.sched_class)
+            sim = self.sim
+            if not sim.tracing:
+                rq = self._rq
+                if not (rq[0] or rq[1] or rq[2] or rq[3]):
+                    core = self._pick_core(thread)
+                    if core is not None:
+                        # Fast path: nothing else is runnable anywhere
+                        # and an idle core takes the thread immediately.
+                        # The explicit route — RUNNABLE for zero ticks,
+                        # runqueue append, dispatch scan, remove — is
+                        # pure bookkeeping with identical accounting
+                        # (the skipped RUNNABLE interval has zero
+                        # length), so go straight to the slice.  With
+                        # tracing on we keep the explicit route so the
+                        # wakeup/state event stream is unchanged.
+                        self._start_slice(thread, core)
+                        return
             self._transition(thread, ThreadState.RUNNABLE)
-            self._runqueues[thread.sched_class].append(thread)
-            if self.sim.tracing:
-                self.sim.emit("sched.wakeup", thread=thread)
+            self._rq[thread.sched_class].append(thread)
+            if sim.tracing:
+                sim.emit("sched.wakeup", thread=thread)
         self._dispatch()
 
     def _transition(self, thread: Thread, new_state: ThreadState) -> None:
-        old = thread.accounting.current
+        accounting = thread.accounting
+        old = accounting.current
         if old is new_state:
             return
-        thread.accounting.switch(new_state, self.sim.now)
+        # StateAccounting.switch inlined (hot: every dispatch/rotation
+        # transitions at least two threads); keep in lockstep.
+        now = self.sim.now
+        accounting.totals[old] += now - accounting.since
+        accounting.current = new_state
+        accounting.since = now
         if self.sim.tracing:
             self.sim.emit("sched.state", thread=thread, old=old, new=new_state)
 
@@ -275,7 +331,7 @@ class Scheduler:
         raise RuntimeError(f"{thread.name} marked RUNNING but on no core")
 
     def _remove_from_runqueue(self, thread: Thread) -> None:
-        queue = self._runqueues[thread.sched_class]
+        queue = self._rq[thread.sched_class]
         try:
             queue.remove(thread)
         except ValueError:
@@ -330,11 +386,18 @@ class Scheduler:
         while placed:
             placed = False
             for queue in self._rq:
+                if not queue:
+                    continue
                 # Iterating the live deque is safe: the loop breaks
                 # immediately after any mutation (remove/preempt/start).
                 for thread in queue:
                     core = self._pick_core(thread)
                     if core is None:
+                        # Victim selection compares live slice state
+                        # (class, slice_started): re-chop any elided
+                        # core this candidate could displace first.
+                        if self._elided_count:
+                            self._materialize_lower(thread.sched_class)
                         victim_core = self._preemption_victim(
                             thread.sched_class, thread
                         )
@@ -383,7 +446,7 @@ class Scheduler:
         self._transition(victim, ThreadState.RUNNABLE_PREEMPTED)
         victim.preemptions_suffered += 1
         self.preemption_count += 1
-        self._runqueues[victim.sched_class].append(victim)
+        self._rq[victim.sched_class].append(victim)
         core.current = None
         if self.sim.tracing:
             self.sim.emit(
@@ -420,16 +483,144 @@ class Scheduler:
         self._arm_slice_end(core)
 
     def _arm_slice_end(self, core: Core) -> None:
+        # Same invariant as _slice_end: current thread's head is CpuWork.
+        thread = core.current
+        item = thread.queue[0]
+        # Core.work_to_time inlined here and in the replay loop below
+        # (hot: once per armed slice); keep in lockstep with cpu.py.
+        freq = core.freq_ghz
+        quantum = self.quantum
+        to_finish = round(item.remaining / freq)
+        if to_finish < 1:
+            to_finish = 1
+        core.slice_started = self.sim.now
+        if to_finish > quantum and self._elidable(thread.sched_class):
+            # Quantum elision: the work spans multiple quanta and no
+            # queued thread could rotate with or preempt this core
+            # (every waiter, if any, has strictly lower priority — the
+            # explicit chain would re-arm straight through it), so the
+            # round-robin boundaries are pure bookkeeping.
+            # Schedule the completion directly and fast-forward; the
+            # moment anything becomes runnable, _materialize_all
+            # re-chops the in-flight chain at the exact boundary the
+            # explicit chain would be on.  The completion time is the
+            # sum of the chopped chain's slices — computed with the
+            # same float operations _slice_end would perform, so the
+            # elided chain is bit-identical to the explicit one.
+            span: Time = 0
+            remaining = item.remaining
+            while True:
+                run = round(remaining / freq)
+                if run < 1:
+                    run = 1
+                if run > quantum:
+                    run = quantum
+                span += run
+                remaining -= run * freq
+                if remaining <= 1e-9:
+                    break
+            core.elide_from = self.sim.now
+            core.elide_work = item.remaining
+            core.slice_end_event = None
+            core.elide_event = self.sim.schedule(
+                span, self._elided_end, core, label=thread.slice_label
+            )
+            self._elided_count += 1
+            return
+        core.slice_end_event = self.sim.schedule(
+            to_finish if to_finish < quantum else quantum,
+            self._slice_end, core, label=thread.slice_label,
+        )
+
+    def _replay_elided(self, core: Core) -> Time:
+        """Fast-forward an elided core's accounting to the state the
+        explicit slice chain would hold at ``sim.now``.
+
+        Retires every quantum boundary strictly before now (the
+        explicit chain's ``_slice_end`` at such a boundary has already
+        run from now's perspective: any event observing the core at
+        ``now`` was scheduled after the boundary's slice event and so
+        fires after it), leaving ``busy_time``, ``slice_started``, and
+        the head item's ``remaining`` exactly as the chain would.
+        Returns the end time of the in-flight slice (>= now).
+        """
+        now = self.sim.now
         thread = core.current
         assert thread is not None and thread.queue
         item = thread.queue[0]
         assert isinstance(item, CpuWork)
-        to_finish = core.work_to_time(item.remaining)
-        run_for = min(to_finish, self.quantum)
-        core.slice_started = self.sim.now
+        start = core.elide_from
+        remaining = core.elide_work
+        quantum = self.quantum
+        freq = core.freq_ghz
+        eliminated = 0
+        while True:
+            run = round(remaining / freq)
+            if run < 1:
+                run = 1
+            if run > quantum:
+                run = quantum
+            end = start + run
+            if end >= now:
+                break
+            remaining -= run * freq
+            start = end
+            eliminated += 1
+        self.elided_slices += eliminated
+        core.busy_time += start - core.elide_from
+        core.slice_started = start
+        item.remaining = remaining
+        return end
+
+    def _materialize(self, core: Core) -> None:
+        """Re-chop one elided core: retire passed boundaries and arm a
+        real ``slice_end`` for the in-flight slice."""
+        end = self._replay_elided(core)
+        self.sim.cancel(core.elide_event)  # type: ignore[arg-type]
+        core.elide_event = None
+        self._elided_count -= 1
+        thread = core.current
+        assert thread is not None
         core.slice_end_event = self.sim.schedule(
-            run_for, self._slice_end, core, label=f"slice:{thread.name}"
+            end - self.sim.now, self._slice_end, core,
+            label=thread.slice_label,
         )
+
+    def _elidable(self, sched_class: SchedClass) -> bool:
+        """True when no queued thread could rotate with or preempt a
+        thread of ``sched_class`` (i.e. every waiter is strictly lower
+        priority)."""
+        rq = self._rq
+        for index in range(sched_class + 1):
+            if rq[index]:
+                return False
+        return True
+
+    def _materialize_all(self) -> None:
+        for core in self.cores:
+            if core.elide_event is not None:
+                self._materialize(core)
+
+    def _materialize_lower(self, sched_class: SchedClass) -> None:
+        """Re-chop every elided core a waiter of ``sched_class`` could
+        interact with (equal class: rotation; lower priority:
+        preemption).  Cores running strictly higher-priority threads
+        stay elided."""
+        for core in self.cores:
+            if core.elide_event is not None:
+                current = core.current
+                assert current is not None
+                if current.sched_class >= sched_class:
+                    self._materialize(core)
+
+    def _elided_end(self, core: Core) -> None:
+        """The elided chain's completion event: replay the interior
+        boundaries, then finish exactly as the last explicit
+        ``_slice_end`` of the chain would."""
+        core.elide_event = None
+        self._elided_count -= 1
+        self._replay_elided(core)
+        self._slice_end(core)
 
     def _stop_slice(self, core: Core, retire: bool) -> None:
         """Cancel the pending slice-end event, optionally retiring the work
@@ -439,6 +630,10 @@ class Scheduler:
         ``_slice_end`` handler, which has already retired the elapsed
         work — retiring again would double-count it.
         """
+        if core.elide_event is not None:
+            # Defensive: every stop path materializes beforehand, but
+            # an elided core must never be torn down with stale state.
+            self._materialize(core)
         if core.slice_end_event is None:
             return
         self.sim.cancel(core.slice_end_event)
@@ -449,17 +644,18 @@ class Scheduler:
             if elapsed > 0 and core.current.queue:
                 item = core.current.queue[0]
                 if isinstance(item, CpuWork):
-                    item.remaining -= core.time_to_work(elapsed)
+                    item.remaining -= elapsed * core.freq_ghz
 
     def _slice_end(self, core: Core) -> None:
+        # Invariants (checked by the armed-slice contract, not asserts —
+        # this is the hottest handler in the simulator): the core runs a
+        # live thread whose queue head is the CpuWork being sliced.
         thread = core.current
-        assert thread is not None
         core.slice_end_event = None
         elapsed = self.sim.now - core.slice_started
         core.busy_time += elapsed
         item = thread.queue[0]
-        assert isinstance(item, CpuWork)
-        item.remaining -= core.time_to_work(elapsed)
+        item.remaining -= elapsed * core.freq_ghz
 
         if item.remaining <= 1e-9:
             thread.queue.popleft()
@@ -480,7 +676,12 @@ class Scheduler:
 
         # Decide what happens to the core next.
         has_more_cpu_work = bool(thread.queue) and isinstance(thread.queue[0], CpuWork)
-        waiter = self._next_runnable()
+        # _next_runnable inlined (hot; keep in lockstep).
+        waiter = None
+        for rq_queue in self._rq:
+            if rq_queue:
+                waiter = rq_queue[0]
+                break
         must_rotate = waiter is not None and waiter.sched_class <= thread.sched_class
 
         if has_more_cpu_work and not must_rotate:
@@ -490,27 +691,61 @@ class Scheduler:
         core.current = None
         if has_more_cpu_work:
             # Involuntary rotation: still runnable but descheduled.
+            # The thread re-enters the runqueue, so any elided core it
+            # could interact with must re-arm real quanta first.
+            if self._elided_count:
+                self._materialize_lower(thread.sched_class)
             self._transition(thread, ThreadState.RUNNABLE_PREEMPTED)
             thread.preemptions_suffered += 1
             self.preemption_count += 1
-            self._runqueues[thread.sched_class].append(thread)
+            self._rq[thread.sched_class].append(thread)
             if self.sim.tracing:
                 self.sim.emit(
                     "sched.preempt", victim=thread, victor=waiter,
                     core=core.index, kind="rotate",
                 )
         else:
-            # Out of CPU work: block on IO, or sleep.
+            # Out of CPU work: block on IO, or sleep.  With an empty
+            # queue _advance would be a no-op (already SLEEPING), so
+            # only call it when an IoWait is pending.
             self._transition(thread, ThreadState.SLEEPING)
-            self._advance(thread)
+            if thread.queue:
+                self._advance(thread)
         self._dispatch()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _elided_accrued(self, core: Core) -> Time:
+        """Busy time an elided core's chain has retired since
+        ``elide_from`` (read-only replay; boundaries strictly before
+        now, matching :meth:`_replay_elided`)."""
+        now = self.sim.now
+        start = core.elide_from
+        remaining = core.elide_work
+        quantum = self.quantum
+        freq = core.freq_ghz
+        while True:
+            run = round(remaining / freq)
+            if run < 1:
+                run = 1
+            if run > quantum:
+                run = quantum
+            if start + run >= now:
+                break
+            remaining -= run * freq
+            start += run
+        return start - core.elide_from
+
     def utilization(self, horizon: Time) -> float:
         """Mean fraction of core time spent busy over ``horizon`` ticks."""
         if horizon <= 0:
             return 0.0
         busy = sum(core.busy_time for core in self.cores)
+        if self._elided_count:
+            busy += sum(
+                self._elided_accrued(core)
+                for core in self.cores
+                if core.elide_event is not None
+            )
         return busy / (horizon * len(self.cores))

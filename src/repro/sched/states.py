@@ -24,6 +24,11 @@ from ..sim.clock import Time
 class ThreadState(enum.Enum):
     """Scheduler-visible thread states (Perfetto naming)."""
 
+    # Members are singletons, so the identity hash is as correct as the
+    # default name hash — and C-level, which matters because the
+    # accounting dicts below are hit on every state switch.
+    __hash__ = object.__hash__
+
     RUNNING = "Running"
     RUNNABLE = "Runnable"
     RUNNABLE_PREEMPTED = "Runnable (Preempted)"
@@ -45,6 +50,8 @@ class StateAccounting:
     at the current time and opens a new one, so the per-state totals of a
     finished thread partition its lifetime.
     """
+
+    __slots__ = ("current", "since", "totals")
 
     def __init__(self, initial: ThreadState, start_time: Time) -> None:
         self.current = initial

@@ -12,6 +12,7 @@ from .clock import (
 )
 from .engine import SimulationError, Simulator
 from .events import Event, EventQueue
+from .periodic import PeriodicService
 from .rng import RandomStreams, derive_seed
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "Simulator",
     "Event",
     "EventQueue",
+    "PeriodicService",
     "RandomStreams",
     "derive_seed",
 ]

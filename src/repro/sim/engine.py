@@ -16,10 +16,11 @@ stack traces flat.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Any, Callable, Dict, List, Optional
 
 from .clock import Time
-from .events import Event, EventQueue
+from .events import INSERTION_WINDOW, Event, EventQueue
 from .rng import RandomStreams
 
 
@@ -29,6 +30,8 @@ class SimulationError(RuntimeError):
 
 class Simulator:
     """Discrete-event simulation engine with named random streams."""
+
+    __slots__ = ("now", "random", "_queue", "_stopped", "_hooks", "tracing")
 
     def __init__(self, seed: int = 0) -> None:
         self.now: Time = 0
@@ -51,10 +54,44 @@ class Simulator:
         *args: Any,
         label: str = "",
     ) -> Event:
-        """Schedule ``fn(*args)`` after ``delay`` ticks (must be >= 0)."""
+        """Schedule ``fn(*args)`` after ``delay`` ticks (must be >= 0).
+
+        The body is :meth:`EventQueue.push` inlined (saving a call
+        frame on the single hottest function in the simulator); the two
+        must be kept in lockstep.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for {label or fn}")
-        return self._queue.push(self.now + delay, fn, args, label)
+        queue = self._queue
+        time = self.now + delay
+        seq = queue._seq
+        queue._seq = seq + 1
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = seq
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event.label = label
+        event.counted = False
+        buckets = queue._buckets
+        bucket = buckets.setdefault(time, event)
+        if bucket is event:
+            times = queue._times
+            if times and time < times[-1]:
+                if len(times) - queue._head <= INSERTION_WINDOW:
+                    insort(times, time, queue._head)
+                else:
+                    times.append(time)
+                    queue._dirty = True
+            else:
+                times.append(time)
+        elif isinstance(bucket, list):
+            bucket.append(event)
+        else:
+            buckets[time] = [bucket, event]
+        queue._live += 1
+        return event
 
     def schedule_at(
         self,
@@ -88,11 +125,57 @@ class Simulator:
         """
         self._stopped = False
         queue = self._queue
-        pop_ready = queue.pop_ready
+        pop_batch = queue.pop_batch
+        # The singleton-timestamp case (the overwhelming majority of
+        # pops) is inlined against the queue's internals: one list
+        # index, one dict pop, a cursor bump, fire.  Anything else —
+        # same-instant batches, leading cancelled runs, a deferred
+        # index sort — drops to the general path.  The inlined steps
+        # mirror EventQueue.pop_batch/_next_time/_pop_time exactly; the
+        # two must be kept in lockstep.
+        times = queue._times
+        buckets = queue._buckets
+        # A horizon of +inf turns the two-test "until is not None and
+        # head_time > until" into a single always-false comparison.
+        horizon = float("inf") if until is None else until
+        take = buckets.pop
         while not self._stopped:
-            batch = pop_ready(until)
+            try:
+                head_time = times[queue._head]
+            except IndexError:
+                break
+            if queue._dirty:
+                if queue._next_time() is None:
+                    break
+                head_time = times[queue._head]
+            bucket = take(head_time)
+            if isinstance(bucket, Event) and not bucket.cancelled:
+                if head_time > horizon:
+                    buckets[head_time] = bucket
+                    break
+                head = queue._head + 1
+                if head < len(times):
+                    queue._head = head
+                else:
+                    times.clear()
+                    queue._head = 0
+                bucket.counted = True
+                queue._live -= 1
+                self.now = head_time
+                bucket.fn(*bucket.args)
+                continue
+            # Same-instant batch or cancelled head: restore the bucket
+            # and take the general path.
+            buckets[head_time] = bucket
+            batch = pop_batch(until)
             if batch is None:
                 break
+            if isinstance(batch, Event):
+                # A cancelled-singleton strip inside pop_batch can
+                # surface a live singleton the fast path never saw.
+                self.now = batch.time
+                batch.fn(*batch.args)
+                continue
             first = batch[0]
             self.now = first.time
             # The head of a batch cannot have been cancelled (nothing

@@ -22,6 +22,7 @@ from ..sched.scheduler import Thread
 from ..sched.states import ThreadState
 from ..sim.clock import Time, seconds
 from ..sim.engine import Simulator
+from ..sim.periodic import PeriodicService
 
 #: A state transition: (time, new_state).
 Transition = Tuple[Time, ThreadState]
@@ -88,12 +89,13 @@ class TraceRecorder:
         if self._sampling:
             return
         self._sampling = True
-        self._sample(period)
+        PeriodicService(
+            self.sim, period, self._sample, label="trace:sample"
+        ).fire()  # first sample lands inline
 
-    def _sample(self, period: Time) -> None:
+    def _sample(self) -> None:
         for name, fn in self._counter_fns:
             self.counters[name].append((self.sim.now, float(fn())))
-        self.sim.schedule(period, self._sample, period, label="trace:sample")
 
     # ------------------------------------------------------------------
     # Interval reconstruction

@@ -33,6 +33,7 @@ from ..kernel.pressure import MemoryPressureLevel, PressureMonitor
 from ..sched.scheduler import SchedClass, Thread
 from ..sched.states import ThreadState
 from ..sim.clock import Time, seconds, to_seconds
+from ..sim.periodic import PeriodicService
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..device.device import Device
@@ -418,9 +419,11 @@ class ValidationHarness:
         )
         for checker in self.checkers:
             checker.attach(self)
-        self._poll_event = device.sim.schedule(
-            self.POLL_INTERVAL, self._poll, label="validate:poll"
+        self._poll_service = PeriodicService(
+            device.sim, self.POLL_INTERVAL, self.check_now,
+            label="validate:poll",
         )
+        self._poll_service.start()
 
     # ------------------------------------------------------------------
     def report(self, checker: str, message: str) -> None:
@@ -439,18 +442,11 @@ class ValidationHarness:
         for checker in self.checkers:
             checker.poll()
 
-    def _poll(self) -> None:
-        self.check_now()
-        self._poll_event = self.device.sim.schedule(
-            self.POLL_INTERVAL, self._poll, label="validate:poll"
-        )
-
     def finalize(self) -> List[Violation]:
         """Run final checks, stop polling, and return all violations."""
         if not self._finalized:
             self._finalized = True
-            self.device.sim.cancel(self._poll_event)
-            self._poll_event = None
+            self._poll_service.stop()
             self.check_now()
             for checker in self.checkers:
                 checker.finalize()

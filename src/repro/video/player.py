@@ -26,6 +26,7 @@ from ..device.device import Device
 from ..kernel.pressure import MemoryPressureLevel
 from ..sched.scheduler import SchedClass
 from ..sim.clock import Time, millis, seconds, to_seconds
+from ..sim.periodic import PeriodicService
 from .buffer import DEFAULT_CAPACITY_S, PlaybackBuffer
 from .clients import ClientProfile, firefox
 from .dash import Manifest, Representation
@@ -233,7 +234,10 @@ class VideoPlayer:
     def _after_startup(self) -> None:
         if not self.process.alive:
             return
-        self._sample_pss()
+        self._pss_service = PeriodicService(
+            self.sim, PSS_SAMPLE_PERIOD, self._sample_pss, label="pss"
+        )
+        self._pss_service.fire()
         self._churn_tick()
         self._start_duty_loops()
         self._fetch_next()
@@ -245,17 +249,21 @@ class VideoPlayer:
         rng = self.sim.random.stream("client.duty")
         period = millis(20)
 
-        def tick(thread, duty) -> None:
-            if self._done or not self.process.alive:
-                return
-            burst = period * duty * rng.lognormvariate(0.0, 0.25)
-            if burst >= 1.0:
-                thread.post(burst, label="duty")
-            self.sim.schedule(period, tick, thread, duty, label="duty")
+        def start_loop(thread, duty) -> None:
+            def tick() -> None:
+                if self._done or not self.process.alive:
+                    service.stop()
+                    return
+                burst = period * duty * rng.lognormvariate(0.0, 0.25)
+                if burst >= 1.0:
+                    thread.post(burst, label="duty")
 
-        tick(self.main_thread, self.client.main_thread_duty)
+            service = PeriodicService(self.sim, period, tick, label="duty")
+            service.fire()  # the first burst lands inline
+
+        start_loop(self.main_thread, self.client.main_thread_duty)
         for thread in self.worker_threads:
-            tick(thread, self.client.worker_duty)
+            start_loop(thread, self.client.worker_duty)
 
     def _allocate_codec_buffers(self, then) -> None:
         """(Re)allocate the decoded-frame pool and textures for the
@@ -455,7 +463,12 @@ class VideoPlayer:
                 self.manager.release_pages(self.process, released, "anon")
                 self._churn_pages -= released
             self._churn_phase = False
-            self.sim.schedule(CHURN_PERIOD, self._churn_tick, label="churn")
+            # Not a fixed-period loop: the allocate phase below re-arms
+            # only once its page request is granted, so churn slows down
+            # under memory pressure.
+            self.sim.schedule(  # repro: noqa[REP108]
+                CHURN_PERIOD, self._churn_tick, label="churn"
+            )
         else:
             def granted() -> None:
                 self._churn_pages += churn
@@ -469,8 +482,8 @@ class VideoPlayer:
 
     def _sample_pss(self) -> None:
         if self._done or not self.process.alive:
+            self._pss_service.stop()
             return
         self.result.pss_series.append(
             (to_seconds(self.sim.now - self._start_time), self.process.pss_mb)
         )
-        self.sim.schedule(PSS_SAMPLE_PERIOD, self._sample_pss, label="pss")

@@ -24,6 +24,7 @@ from ..kernel.memory import mb_to_pages
 from ..kernel.process import MemProcess, OomAdj
 from ..sched.scheduler import SchedClass, Thread
 from ..sim.clock import Time, seconds
+from ..sim.periodic import PeriodicService
 from .apps import AppSpec, top_apps
 
 #: Gap between consecutive app launches.
@@ -119,7 +120,7 @@ class BackgroundWorkload:
             process.oom_adj = min(
                 OomAdj.CACHED_MAX, OomAdj.CACHED_MIN + recency * 10
             )
-            self._sync_tick(process, thread, spec)
+            self._start_sync_loop(process, thread)
             if self.restart:
                 process.on_kill.append(
                     lambda _reason: self._schedule_restart(spec, recency)
@@ -144,16 +145,20 @@ class BackgroundWorkload:
 
         self.device.sim.schedule(delay, restart, label="bg:restart")
 
-    def _sync_tick(self, process: MemProcess, thread: Thread, spec: AppSpec) -> None:
+    def _start_sync_loop(self, process: MemProcess, thread: Thread) -> None:
         """Periodic light activity: push notifications, sync jobs."""
-        if not process.alive or self._stopped:
-            return
-        hot = process.pools.hot_total
-        if hot > 0:
-            self.manager.touch(process, thread, max(1, hot // 20))
-        self.device.sim.schedule(
-            SYNC_PERIOD, self._sync_tick, process, thread, spec, label="bg:sync"
+        def tick() -> None:
+            if not process.alive or self._stopped:
+                service.stop()
+                return
+            hot = process.pools.hot_total
+            if hot > 0:
+                self.manager.touch(process, thread, max(1, hot // 20))
+
+        service = PeriodicService(
+            self.device.sim, SYNC_PERIOD, tick, label="bg:sync"
         )
+        service.fire()
 
     # ------------------------------------------------------------------
     @property

@@ -25,6 +25,7 @@ from ..kernel.memory import mb_to_pages
 from ..kernel.pressure import MemoryPressureLevel
 from ..sched.scheduler import SchedClass
 from ..sim.clock import Time, millis
+from ..sim.periodic import PeriodicService
 
 #: Allocation step per control tick.
 ALLOC_STEP_MB = 24.0
@@ -51,6 +52,9 @@ class MPSimulator:
         self._reached = False
         self._on_reached: Optional[Callable[[], None]] = None
         self._alloc_pending = False
+        self._control = PeriodicService(
+            device.sim, CONTROL_PERIOD, self._tick, label="mpsim:tick"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -73,7 +77,7 @@ class MPSimulator:
             if on_reached is not None:
                 self.device.sim.schedule(0, on_reached, label="mpsim:reached")
             return
-        self._tick()
+        self._control.fire()  # first control pass runs inline
 
     def release_all(self) -> None:
         """Free the whole held allocation (experiment teardown)."""
@@ -84,6 +88,7 @@ class MPSimulator:
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         if not self.process.alive:
+            self._control.stop()
             return
         level = self.device.pressure_level
         if not self._reached:
@@ -94,7 +99,6 @@ class MPSimulator:
                 if self._on_reached is not None:
                     self._on_reached()
         self._keep_hot()
-        self.device.sim.schedule(CONTROL_PERIOD, self._tick, label="mpsim:tick")
 
     def _allocate_step(self) -> None:
         if self._alloc_pending:

@@ -1,0 +1,33 @@
+"""Fixture: hand-rolled self-rescheduling poll loops (REP108)."""
+
+POLL_INTERVAL = 25
+
+
+class Monitor:
+    def __init__(self, sim):
+        self.sim = sim
+        self._event = None
+
+    def _poll(self):
+        self.update()
+        self._event = self.sim.schedule(POLL_INTERVAL, self._poll)
+
+    def update(self):
+        pass
+
+
+def start_sampling(sim, sample_period):
+    def sample():
+        sim.schedule(sample_period, sample, label="sample")
+
+    sample()
+
+
+def retry_fetch(sim, backoff):
+    """A one-shot retry: self-reschedules but with no period-like delay,
+    so REP108 must NOT fire here."""
+
+    def attempt():
+        sim.schedule(backoff * 2, attempt, label="retry")
+
+    attempt()

@@ -23,6 +23,7 @@ def findings_for(rel_path, rule):
     ("repro/kernel/bad_hash.py", "REP103", 1),
     ("repro/kernel/bad_id.py", "REP105", 1),
     ("repro/core/bad_float_eq.py", "REP106", 2),
+    ("repro/kernel/bad_poll_loop.py", "REP108", 2),
 ])
 def test_bad_fixture_finding_counts(rel_path, rule, expected):
     found = findings_for(rel_path, rule)
@@ -45,6 +46,13 @@ def test_wallclock_resolves_import_aliases():
     messages = " ".join(f.message for f in found)
     assert "time.perf_counter" in messages  # via `from time import ... as pc`
     assert "datetime.datetime.now" in messages
+
+
+def test_poll_loop_rule_spares_backoff_retries():
+    """REP108 keys on period-like delay names: a retry loop whose delay
+    is a backoff is a legitimate self-reschedule and must not fire."""
+    found = findings_for("repro/kernel/bad_poll_loop.py", "REP108")
+    assert {f.line for f in found} == {13, 21}  # _poll and sample only
 
 
 def test_good_fixture_is_clean():

@@ -1,0 +1,138 @@
+"""Quantum elision: fast-forwarded slice chains must be transparent.
+
+A multi-quantum work item whose core has no possible rotator or
+preemptor queued skips its interior ``slice_end`` events and schedules
+the completion directly.  These tests pin the re-arm contract: the
+moment a second runnable appears — same class (rotation) or higher
+class (preemption) — the elided chain is re-chopped into real quanta
+at exactly the boundary the explicit chain would be on.
+"""
+
+import pytest
+
+from repro.sched import SchedClass, Scheduler, ThreadState, make_cores
+from repro.sched.scheduler import Scheduler as SchedulerClass
+from repro.sim import Simulator, millis
+
+
+def make_sched(n_cores=1, freq=1.0, quantum=millis(4)):
+    sim = Simulator()
+    sched = Scheduler(sim, make_cores([freq] * n_cores), quantum=quantum)
+    return sim, sched
+
+
+def test_multi_quantum_work_is_elided():
+    sim, sched = make_sched()
+    thread = sched.spawn("worker")
+    thread.post(millis(10))  # 2.5 quanta
+    sim.schedule(0, lambda: None)
+    sim.run(until=millis(1))
+    core = sched.cores[0]
+    assert core.elide_event is not None
+    assert core.slice_end_event is None
+    assert sched._elided_count == 1
+    sim.run()
+    assert sched._elided_count == 0
+    assert sched.elided_slices == 2  # boundaries at 4ms and 8ms
+    assert thread.state is ThreadState.SLEEPING
+
+
+def test_single_quantum_work_is_not_elided():
+    sim, sched = make_sched()
+    thread = sched.spawn("worker")
+    thread.post(millis(2))
+    sim.run(until=millis(1))
+    core = sched.cores[0]
+    assert core.elide_event is None
+    assert core.slice_end_event is not None
+
+
+def test_same_class_waiter_mid_elided_slice_rearms_real_quanta():
+    """A rotation candidate posted mid-elided-slice re-chops the chain;
+    the rotation then happens at the next 4ms boundary, exactly as the
+    explicit chain would rotate."""
+    sim, sched = make_sched()
+    a = sched.spawn("a", SchedClass.FOREGROUND)
+    b = sched.spawn("b", SchedClass.FOREGROUND)
+    a.post(millis(20))
+    done = []
+    state_after_post = {}
+
+    def post_b():
+        b.post(millis(2), on_complete=lambda: done.append(sim.now))
+        core = sched.cores[0]
+        state_after_post["elide"] = core.elide_event
+        state_after_post["slice_end"] = core.slice_end_event
+        state_after_post["elided_count"] = sched._elided_count
+
+    sim.schedule(millis(6), post_b)
+    sim.run()
+    # The mid-slice arrival materialized the chain into real quanta.
+    assert state_after_post["elide"] is None
+    assert state_after_post["slice_end"] is not None
+    assert state_after_post["elided_count"] == 0
+    # Rotation at the 8ms boundary, so b finishes its 2ms at 10ms.
+    assert done == [millis(10)]
+    assert a.preemptions_suffered == 1
+
+
+def test_higher_class_preemptor_mid_elided_slice_preempts_immediately():
+    """An IO-class wakeup lands mid-elided-slice: the chain re-arms and
+    the preemption happens at the arrival instant, not at the (elided)
+    completion."""
+    sim, sched = make_sched()
+    a = sched.spawn("a", SchedClass.FOREGROUND)
+    io = sched.spawn("io", SchedClass.IO)
+    a.post(millis(20))
+    done = []
+    sim.schedule(
+        millis(6),
+        lambda: io.post(millis(1), on_complete=lambda: done.append(sim.now)),
+    )
+    sim.run()
+    assert done == [millis(7)]  # ran 6..7ms, preempting a on arrival
+    assert a.preemptions_suffered == 1
+    assert sched._elided_count == 0
+    assert a.time_in(ThreadState.RUNNABLE_PREEMPTED) == millis(1)
+
+
+def _mixed_workload_snapshot():
+    """Run a mixed multi-class workload; return its full accounting."""
+    sim, sched = make_sched(n_cores=2)
+    fg_a = sched.spawn("fg_a", SchedClass.FOREGROUND)
+    fg_b = sched.spawn("fg_b", SchedClass.FOREGROUND)
+    bg = sched.spawn("bg", SchedClass.BACKGROUND)
+    io = sched.spawn("io", SchedClass.IO)
+    completions = []
+    fg_a.post(millis(18), on_complete=lambda: completions.append(("a", sim.now)))
+    bg.post(millis(30), on_complete=lambda: completions.append(("bg", sim.now)))
+    sim.schedule(millis(5), lambda: fg_b.post(
+        millis(6), on_complete=lambda: completions.append(("b", sim.now))))
+    sim.schedule(millis(9), lambda: io.post(
+        millis(2), on_complete=lambda: completions.append(("io", sim.now))))
+    sim.run()
+    snapshot = {
+        "completions": completions,
+        "busy": [core.busy_time for core in sched.cores],
+        "switches": sched.context_switches,
+        "preemptions": sched.preemption_count,
+        "states": {
+            t.name: dict(t.accounting.totals) for t in sched.threads
+        },
+        "end": sim.now,
+    }
+    return snapshot, sched.elided_slices
+
+
+def test_elision_is_bit_identical_to_explicit_chains(monkeypatch):
+    """The same mixed workload, with elision on and off, must produce
+    identical accounting — elision only removes bookkeeping events."""
+    elided_snapshot, elided_count = _mixed_workload_snapshot()
+    assert elided_count > 0
+    with monkeypatch.context() as patch:
+        patch.setattr(
+            SchedulerClass, "_elidable", lambda self, sched_class: False
+        )
+        explicit_snapshot, explicit_count = _mixed_workload_snapshot()
+    assert explicit_count == 0
+    assert elided_snapshot == explicit_snapshot
