@@ -1,7 +1,8 @@
 """Rule registry for ``repro lint``.
 
-Rules are grouped by family — determinism (REP1xx), contracts
-(REP2xx), typing gate (REP3xx) — and instantiated fresh per run (rules
+Rules are grouped by family — determinism and robustness (REP1xx),
+contracts (REP2xx), typing gate (REP3xx) — and instantiated fresh per
+run (rules
 are allowed to keep per-run state).  ``REP001`` (syntax error) is
 reported by the engine itself and has no class here.
 """
@@ -13,10 +14,12 @@ from typing import Dict, List, Optional, Sequence, Type
 from ..engine import Rule
 from .contracts import CONTRACT_RULES
 from .determinism import DETERMINISM_RULES
+from .robustness import ROBUSTNESS_RULES
 from .typing_rules import TYPING_RULES
 
 ALL_RULE_CLASSES: Sequence[Type[Rule]] = (
     *DETERMINISM_RULES,
+    *ROBUSTNESS_RULES,
     *CONTRACT_RULES,
     *TYPING_RULES,
 )

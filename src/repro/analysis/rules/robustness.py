@@ -1,0 +1,88 @@
+"""Robustness rules: exception-handling hygiene in the fabric.
+
+The experiment fabric (``experiments/``) and the chaos subsystem
+(``faults/``) are exactly the layers whose job is to *handle* failure —
+so a handler there that silently eats an exception defeats the whole
+design: a swallowed worker crash looks like a hang, a swallowed cache
+error looks like a miss forever, and a swallowed checker bug looks like
+a clean validation run.
+
+========  ==========================================================
+REP109    bare ``except:`` or a handler that silently swallows the
+          exception (body is only ``pass``/``...``/``continue``)
+========  ==========================================================
+
+Deliberate suppression is still expressible — and greppable as policy:
+``contextlib.suppress(SomeError)`` names what is being ignored, a
+handler that counts/logs/reports before continuing has a non-empty
+body, and a true exemption carries ``# repro: noqa[REP109]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterable, Tuple
+
+from ..engine import Finding, Rule, SourceFile
+
+#: The failure-handling layers held to the stricter standard.
+ROBUSTNESS_SCOPE: FrozenSet[str] = frozenset({"experiments", "faults"})
+
+
+class SwallowedExceptionRule(Rule):
+    """REP109: bare or silently-swallowed exception handlers."""
+
+    id = "REP109"
+    title = "bare or silently-swallowed exception handler"
+    rationale = (
+        "In the fault-tolerance layers an invisible failure is worse "
+        "than a loud one: retries, quarantine, and checkpointing all "
+        "key off exceptions being observed.  Name the exceptions you "
+        "catch, and record (counter, warning, report) or re-raise what "
+        "you cannot handle; use contextlib.suppress for the rare "
+        "ignore-by-design case so the policy is explicit."
+    )
+    scope = ROBUSTNESS_SCOPE
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    src, node,
+                    "bare `except:` also catches SystemExit and "
+                    "KeyboardInterrupt — name the exceptions (and "
+                    "re-raise what the fabric cannot handle)",
+                )
+                continue
+            if self._swallows(node.body):
+                caught = ast.unparse(node.type)
+                yield self.finding(
+                    src, node,
+                    f"`except {caught}` silently swallows the failure "
+                    "(empty handler body) — count/log/report it, "
+                    "re-raise, or use contextlib.suppress to make the "
+                    "ignore explicit",
+                )
+
+    @staticmethod
+    def _swallows(body: Iterable[ast.stmt]) -> bool:
+        """True when every statement is pass/Ellipsis/continue — i.e.
+        the handler observes nothing and records nothing."""
+        empty = True
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            ):
+                continue
+            empty = False
+        return empty
+
+
+ROBUSTNESS_RULES: Tuple[type, ...] = (SwallowedExceptionRule,)

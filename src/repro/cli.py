@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands mirror the library's main entry points::
+The subcommands mirror the library's main entry points::
 
     repro run      --device nokia1 --resolution 720p --fps 60 --pressure moderate
     repro sweep    --devices nokia1,nexus5 --pressures normal,critical
@@ -8,9 +8,15 @@ Five subcommands mirror the library's main entry points::
     repro trace    --pressure moderate --duration 25
     repro validate --level deep
     repro lint     src/repro --json
+    repro chaos    --scenarios kill,interrupt
 
 Every subcommand prints a human-readable report by default; ``--json``
 emits machine-readable output instead (for notebooks and dashboards).
+
+``repro sweep`` checkpoints every completed job to a journal (under the
+cache directory by default): an interrupted sweep exits with status 130
+and a hint, and ``--resume`` continues it bit-identically without
+re-running completed jobs (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -18,14 +24,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from .core.abr import MemoryAwareAbr
 from .core.qoe import summarize
 from .core.session import DEVICE_FACTORIES
 from .experiments import study_experiments
-from .experiments.parallel import SessionSpec, run_sessions
-from .experiments.runner import run_cells
+from .experiments.checkpoint import SweepJournal, default_journal_path
+from .experiments.parallel import (
+    FabricReport,
+    SessionSpec,
+    SweepInterrupted,
+    run_sessions,
+)
+from .experiments.runner import cell_specs, run_cells
 from .experiments.trace_experiments import profiled_run
 from .sched.states import ThreadState
 from .video.encoding import RESOLUTION_ORDER, SUPPORTED_FRAME_RATES
@@ -99,18 +111,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for fps in args.fps
         for pressure in pressures
     ]
-    cells = run_cells(
-        [
-            dict(
-                device=device, resolution=resolution, fps=fps,
-                pressure=pressure, duration_s=args.duration,
-                repetitions=args.reps,
+    cell_kwargs = [
+        dict(
+            device=device, resolution=resolution, fps=fps,
+            pressure=pressure, duration_s=args.duration,
+            repetitions=args.reps,
+        )
+        for device, resolution, fps, pressure in grid
+    ]
+    journal: Optional[SweepJournal] = None
+    if not args.no_journal:
+        if args.journal:
+            journal_path = args.journal
+        else:
+            flat = [
+                spec for cell in cell_kwargs for spec in cell_specs(**cell)
+            ]
+            journal_path = str(default_journal_path(flat))
+        journal = SweepJournal(journal_path, resume=args.resume)
+    report = FabricReport()
+    try:
+        cells = run_cells(
+            cell_kwargs,
+            jobs=args.jobs,
+            cache=False if args.no_cache else None,
+            journal=journal,
+            report=report,
+        )
+    except SweepInterrupted as exc:
+        print(
+            f"sweep interrupted: {exc.completed}/{exc.total} jobs "
+            "checkpointed",
+            file=sys.stderr,
+        )
+        if exc.journal_path is not None:
+            print(
+                "resume with the same command plus --resume "
+                f"(journal: {exc.journal_path})",
+                file=sys.stderr,
             )
-            for device, resolution, fps, pressure in grid
-        ],
-        jobs=args.jobs,
-        cache=False if args.no_cache else None,
-    )
+        return 130
     rows = []
     for (device, resolution, fps, pressure), cell in zip(grid, cells):
         stats = cell.stats
@@ -132,6 +172,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"{row['pressure']:9s} drop {row['mean_drop_rate'] * 100:5.1f}% "
               f"± {row['drop_rate_ci'] * 100:4.1f} "
               f"crash {row['crash_rate'] * 100:5.1f}%")
+    print(f"fabric: {report.summary()}")
     return 0
 
 
@@ -226,6 +267,31 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run(args)
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults.chaos import SCENARIOS, run_chaos
+
+    names = args.scenarios.split(",") if args.scenarios else list(SCENARIOS)
+    outcomes = run_chaos(
+        scenarios=[name.strip() for name in names if name.strip()],
+        jobs=args.jobs,
+        seed=args.seed,
+        duration_s=args.duration,
+    )
+    all_passed = all(outcome.passed for outcome in outcomes)
+    if args.json:
+        payload = {
+            "passed": all_passed,
+            "scenarios": [outcome.to_payload() for outcome in outcomes],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if all_passed else 1
+    for outcome in outcomes:
+        verdict = "pass" if outcome.passed else "FAIL"
+        print(f"chaos {outcome.name:10s} {verdict}  {outcome.detail}")
+    print("chaos suite PASSED" if all_passed else "chaos suite FAILED")
+    return 0 if all_passed else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Thin wrapper over ``benchmarks.perf.run`` (the perf harness lives
     alongside the repo, not inside the installed package)."""
@@ -293,6 +359,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "processes (0 = all cores)")
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="bypass the on-disk session result cache")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="resume an interrupted sweep from its "
+                              "checkpoint journal (completed jobs replay "
+                              "bit-identically instead of re-running)")
+    sweep_p.add_argument("--journal", default=None,
+                         help="checkpoint journal path (default: derived "
+                              "from the sweep's spec digests under the "
+                              "cache directory)")
+    sweep_p.add_argument("--no-journal", action="store_true",
+                         help="disable checkpointing for this sweep")
     sweep_p.add_argument("--json", action="store_true")
     sweep_p.set_defaults(func=cmd_sweep)
 
@@ -343,6 +419,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint_p)
     lint_p.set_defaults(func=cmd_lint)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="fault-injection scenarios proving fabric resilience "
+             "(see docs/robustness.md)",
+    )
+    chaos_p.add_argument("--scenarios", default=None,
+                         help="comma-separated subset of "
+                              "kill,stall,error,corrupt,interrupt "
+                              "(default: all)")
+    chaos_p.add_argument("--jobs", type=int, default=2,
+                         help="worker processes for the faulted runs "
+                              "(min 2; the baseline is always serial)")
+    chaos_p.add_argument("--seed", type=int, default=7,
+                         help="scenario seed (fault target selection)")
+    chaos_p.add_argument("--duration", type=float, default=4.0,
+                         help="simulated seconds per session job")
+    chaos_p.add_argument("--json", action="store_true")
+    chaos_p.set_defaults(func=cmd_chaos)
 
     bench_p = sub.add_parser(
         "bench",

@@ -1,0 +1,172 @@
+"""Sweep checkpoint journal: incremental, resumable session results.
+
+Long §3/§4 sweeps are exactly the multi-hour batch jobs that must
+survive a SIGINT, SIGTERM, or killed host.  The journal makes every
+completed :class:`~repro.experiments.parallel.SessionSpec` durable the
+moment it finishes: :func:`~repro.experiments.parallel.run_sessions`
+appends one record per completed job, and a resumed sweep replays those
+records instead of recomputing — bit-identical to an uninterrupted run,
+because a record is keyed by the spec's content address and a spec
+fully determines its result.
+
+Format (documented in ``docs/robustness.md``): a line-oriented JSON
+file.  The first line is a header::
+
+    {"journal": "repro-sweep", "version": 1, "schema": <SCHEMA_VERSION>}
+
+and every subsequent line is one completed job::
+
+    {"key": "<sha256 spec digest>", "result": "<base64 pickle>"}
+
+Appends are flushed per record, so a crash loses at most the record
+being written; a truncated or corrupt tail line is counted in
+:attr:`SweepJournal.skipped` and otherwise ignored on load.  A journal
+whose header names a different :data:`~repro.experiments.parallel.SCHEMA_VERSION`
+is stale (results would no longer be comparable) and is discarded
+wholesale.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import IO, Dict, Optional, Sequence
+
+from ..video.player import SessionResult
+from .parallel import SCHEMA_VERSION, SessionSpec, cache_key, default_cache_dir
+
+JOURNAL_MAGIC = "repro-sweep"
+JOURNAL_VERSION = 1
+
+
+def sweep_digest(specs: Sequence[SessionSpec]) -> str:
+    """Stable identity of a sweep: hash of its sorted job digests.
+
+    Used to derive a default journal path, so re-running the same
+    command line finds its own journal and a different grid gets a
+    fresh one.  Non-cacheable specs (shared-instance ABR) contribute
+    nothing: they are never journaled.
+    """
+    keys = sorted(cache_key(spec) for spec in specs if spec.cacheable)
+    blob = "\n".join([str(len(keys)), *keys])
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def default_journal_path(
+    specs: Sequence[SessionSpec], root: Optional[Path] = None
+) -> Path:
+    """``<cache root>/journals/<sweep digest>.journal``."""
+    base = root if root is not None else default_cache_dir()
+    return base / "journals" / f"{sweep_digest(specs)[:16]}.journal"
+
+
+class SweepJournal:
+    """Append-only checkpoint store for one sweep.
+
+    ``resume=True`` loads any compatible existing journal and appends
+    to it; ``resume=False`` truncates and starts fresh.  The journal is
+    left in place after a successful sweep — resuming a finished sweep
+    is a cheap no-op that replays every record.
+    """
+
+    def __init__(self, path: Path | str, resume: bool = True) -> None:
+        self.path = Path(path)
+        self.resume = resume
+        #: Records written by this process (not counting loaded ones).
+        self.recorded = 0
+        #: Corrupt or truncated lines skipped during :meth:`begin`.
+        self.skipped = 0
+        self._fh: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    def begin(self) -> Dict[str, SessionResult]:
+        """Open the journal and return the resumable results.
+
+        Returns ``{}`` when starting fresh, when no journal exists yet,
+        or when the existing file's header is missing, malformed, or
+        from a different schema version (a stale journal must not leak
+        incomparable results into a new sweep).
+        """
+        entries: Dict[str, SessionResult] = {}
+        header_ok = False
+        if self.resume:
+            entries, header_ok = self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if header_ok:
+            self._fh = self.path.open("a", encoding="utf-8")
+        else:
+            self._fh = self.path.open("w", encoding="utf-8")
+            header = {
+                "journal": JOURNAL_MAGIC,
+                "version": JOURNAL_VERSION,
+                "schema": SCHEMA_VERSION,
+            }
+            self._fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+            self._fh.flush()
+        return entries
+
+    def record(self, key: str, result: SessionResult) -> None:
+        """Append one completed job (flushed immediately)."""
+        if self._fh is None:
+            self._fh = self.path.open("a", encoding="utf-8")
+        blob = base64.b64encode(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        line = json.dumps(
+            {"key": key, "result": blob}, separators=(",", ":")
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self.recorded += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def remove(self) -> None:
+        """Delete the journal file (explicit cleanup; never automatic)."""
+        self.close()
+        if self.path.exists():
+            self.path.unlink()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> tuple[Dict[str, SessionResult], bool]:
+        entries: Dict[str, SessionResult] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return entries, False
+        lines = text.splitlines()
+        if not lines:
+            return entries, False
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return entries, False
+        if (
+            not isinstance(header, dict)
+            or header.get("journal") != JOURNAL_MAGIC
+            or header.get("version") != JOURNAL_VERSION
+            or header.get("schema") != SCHEMA_VERSION
+        ):
+            return entries, False
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                result = pickle.loads(base64.b64decode(record["result"]))
+            except Exception:
+                # A kill mid-append leaves at most one truncated tail
+                # line; tolerate it (counted) instead of refusing the
+                # whole journal.
+                self.skipped += 1
+                continue
+            if isinstance(key, str) and isinstance(result, SessionResult):
+                entries[key] = result
+            else:
+                self.skipped += 1
+        return entries, True

@@ -1,4 +1,4 @@
-"""Parallel experiment fabric and the content-addressed result cache.
+"""Parallel experiment fabric: supervision, retries, and the result cache.
 
 Every §4/§6 artefact decomposes into independent *session jobs* — one
 :class:`~repro.core.session.StreamingSession` per (cell, repetition)
@@ -17,11 +17,28 @@ Two properties make that guarantee cheap to keep:
 * results are plain dataclasses, so shipping them across process
   boundaries (or a cache file) loses nothing.
 
-The same spec-determines-result property powers the on-disk cache:
-a spec's canonical JSON (plus :data:`SCHEMA_VERSION`) is hashed into a
-content address, and figures that share cells (F9 and T2, F11 and T3
-share their base-seed repetitions) reuse each other's sessions instead
-of recomputing them.  Corrupt or stale entries deserialize as misses.
+The same spec-determines-result property powers the on-disk cache
+(a spec's canonical JSON plus :data:`SCHEMA_VERSION` is hashed into a
+content address) **and** the fabric's fault tolerance: because any job
+can be re-executed anywhere and produce the same bytes, the supervisor
+is free to retry, relocate, or serialize work when things go wrong.
+Concretely (see ``docs/robustness.md`` for the failure model):
+
+* a job that raises is retried with exponential backoff whose jitter
+  derives from the job's seed (deterministic, never wall clock), and
+  re-runs **serially in-process** so a poisoned pool cannot eat it;
+* a killed worker (``BrokenProcessPool``) costs one pool restart; a
+  second loss degrades the rest of the sweep to in-process serial
+  execution with a warning — never a crash;
+* heartbeat files written by workers at job boundaries let the
+  supervisor detect a stalled job and abandon the pool instead of
+  waiting forever;
+* corrupt cache entries are quarantined (not deleted) and recomputed;
+* with a :class:`~repro.experiments.checkpoint.SweepJournal` attached,
+  every completed job is checkpointed incrementally and a
+  ``KeyboardInterrupt`` drains in-flight work before raising
+  :class:`SweepInterrupted`, so an interrupted sweep resumes from the
+  journal bit-identically instead of restarting.
 """
 
 from __future__ import annotations
@@ -30,14 +47,39 @@ import hashlib
 import json
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+import shutil
+import tempfile
+import time
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import suppress
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.session import StreamingSession
+from ..faults import active_plan
 from ..video.encoding import VideoAsset
 from ..video.player import SessionResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .checkpoint import SweepJournal
 
 #: Bump when SessionResult, the simulator, or any model changes in a
 #: way that alters results: old cache entries then stop matching.
@@ -57,6 +99,119 @@ SEED_STRIDE = 7919
 #: Environment overrides: cache directory, and a global kill switch.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+
+#: Subdirectory of the cache root where corrupt entries are moved for
+#: post-mortem inspection instead of being deleted.
+QUARANTINE_DIR = "quarantine"
+
+
+class JobFailedError(RuntimeError):
+    """A session job kept failing after every retry attempt."""
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """A sweep stopped on Ctrl-C after draining and checkpointing.
+
+    Subclasses :class:`KeyboardInterrupt` so callers that do not know
+    about checkpointing keep their existing interrupt behaviour, while
+    the CLIs catch this to print a resume hint and exit with 130.
+    """
+
+    def __init__(
+        self,
+        completed: int,
+        total: int,
+        journal_path: Optional[Path] = None,
+    ) -> None:
+        super().__init__(
+            f"sweep interrupted with {completed}/{total} jobs completed"
+        )
+        self.completed = completed
+        self.total = total
+        self.journal_path = journal_path
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the fabric supervises jobs (see ``docs/robustness.md``).
+
+    Backoff before attempt *n*'s retry is
+    ``min(backoff_max_s, backoff_base_s * backoff_factor**n)`` scaled
+    by a jitter factor in ``[1, 1 + jitter_frac]`` derived from the
+    job's seed and the attempt number — deterministic across runs and
+    hosts, unlike wall-clock or pid-seeded jitter.
+
+    ``hang_timeout_s`` bounds how long a single job may run without its
+    worker's heartbeat advancing before the pool is declared hung; it
+    must exceed the longest legitimate job.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter_frac: float = 0.5
+    hang_timeout_s: float = 300.0
+    heartbeat_poll_s: float = 0.25
+    pool_restarts: int = 1
+
+    def backoff_s(self, seed: int, attempt: int) -> float:
+        """Deterministic backoff delay before retry ``attempt``."""
+        base = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** attempt,
+        )
+        digest = hashlib.sha256(f"retry:{seed}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2 ** 64
+        return base * (1.0 + self.jitter_frac * unit)
+
+
+@dataclass
+class FabricReport:
+    """What the fabric did on one :func:`run_sessions` call.
+
+    Callers pass an instance in to collect the sweep summary the CLIs
+    print (cache hits, resumed jobs, retries, quarantined entries, …).
+    """
+
+    computed: int = 0
+    cache_hits: int = 0
+    #: Results served from the checkpoint journal instead of re-running.
+    resumed: int = 0
+    #: Job attempts that raised (each may be retried).
+    failures: int = 0
+    #: Extra executions performed because an earlier attempt failed.
+    retries: int = 0
+    #: Times the heartbeat monitor declared the pool hung.
+    hangs: int = 0
+    #: Times a lost pool was rebuilt.
+    pool_restarts: int = 0
+    #: Jobs recovered by in-process serial execution after pool trouble.
+    serial_fallback: int = 0
+    #: Corrupt cache entries moved to quarantine during this run.
+    quarantined: int = 0
+    interrupted: bool = False
+
+    def summary(self) -> str:
+        """One line for the sweep summary, e.g. printed by ``repro sweep``."""
+        parts = [f"computed {self.computed}"]
+        if self.cache_hits:
+            parts.append(f"cache hits {self.cache_hits}")
+        if self.resumed:
+            parts.append(f"resumed {self.resumed}")
+        if self.retries or self.failures:
+            parts.append(f"retries {self.retries} (failures {self.failures})")
+        if self.hangs:
+            parts.append(f"hangs {self.hangs}")
+        if self.pool_restarts:
+            parts.append(f"pool restarts {self.pool_restarts}")
+        if self.serial_fallback:
+            parts.append(f"serial fallback {self.serial_fallback}")
+        if self.quarantined:
+            parts.append(f"quarantined cache entries {self.quarantined}")
+        if self.interrupted:
+            parts.append("interrupted")
+        return ", ".join(parts)
 
 
 @dataclass(frozen=True)
@@ -125,14 +280,19 @@ class ResultCache:
     Layout: ``<root>/<key[:2]>/<key>.pkl`` (two-level fan-out keeps
     directory listings sane at millions of entries).  Writes are atomic
     (temp file + rename), so concurrent runs sharing a cache directory
-    can only ever observe complete entries.  Unreadable entries are
-    treated as misses and deleted.
+    can only ever observe complete entries.  Unreadable or wrong-typed
+    entries are treated as misses and **quarantined** to
+    ``<root>/quarantine/`` — moved, not deleted, so a corruption bug
+    stays inspectable — with a single warning per cache instance; the
+    affected job simply re-runs.
     """
 
     def __init__(self, root: Path | str) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self._warned_quarantine = False
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -145,16 +305,14 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
             # Corrupt, truncated, or written by an incompatible
-            # version: drop the entry and recompute.
+            # version: quarantine the entry and recompute.
+            self._quarantine(path, repr(exc))
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
             return None
         if not isinstance(result, SessionResult):
+            self._quarantine(path, f"not a SessionResult: {type(result).__name__}")
             self.misses += 1
             return None
         self.hits += 1
@@ -171,10 +329,24 @@ class ResultCache:
         except OSError:
             # Caching is an optimization; never fail the experiment
             # over a full disk or read-only cache directory.
-            try:
+            with suppress(OSError):
                 tmp.unlink()
-            except OSError:
-                pass
+
+    def _quarantine(self, path: Path, why: str) -> None:
+        self.quarantined += 1
+        dest = self.root / QUARANTINE_DIR / path.name
+        with suppress(OSError):
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        if not self._warned_quarantine:
+            self._warned_quarantine = True
+            warnings.warn(
+                f"corrupt result-cache entry quarantined to {dest.parent} "
+                f"({why}); the affected job(s) will re-run "
+                "(warned once per cache)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
 
 def default_cache_dir() -> Path:
@@ -198,6 +370,7 @@ def resolve_cache(cache: Any = None) -> Optional[ResultCache]:
         if os.environ.get(CACHE_DISABLE_ENV):
             return None
         return ResultCache(default_cache_dir())
+    assert isinstance(cache, ResultCache)
     return cache
 
 
@@ -207,7 +380,15 @@ def repetition_seeds(base_seed: int, repetitions: int) -> List[int]:
 
 
 def run_spec(spec: SessionSpec) -> SessionResult:
-    """Execute one session job to completion (worker entry point)."""
+    """Execute one session job to completion (worker entry point).
+
+    When a fault plan is installed (chaos harness, tests) the job's
+    fault point fires first, so injected kills/stalls/raises land
+    exactly where a real fault would: mid-job, inside the worker.
+    """
+    plan = active_plan()
+    if plan is not None and spec.cacheable:
+        plan.fire(f"job:{cache_key(spec)}")
     session = StreamingSession(
         device=spec.device,
         asset=spec.asset,
@@ -246,82 +427,343 @@ def effective_jobs(jobs: Optional[int], n_tasks: int) -> int:
     return max(1, min(jobs, n_tasks))
 
 
-def run_spec_chunk(specs: Sequence[SessionSpec]) -> List[SessionResult]:
+class _Heartbeat:
+    """Worker-side progress beacon.
+
+    Before each job the worker rewrites its per-pid file with an
+    incrementing sequence and state ``run``; after finishing a chunk it
+    writes state ``idle``.  The supervisor reads mtimes: a worker whose
+    file says ``run`` but has not moved for ``hang_timeout_s`` is stuck
+    inside a single job.  Idle workers are exempt (between chunks their
+    file legitimately goes stale).
+    """
+
+    def __init__(self, hb_dir: Optional[str]) -> None:
+        self.path = None if hb_dir is None else Path(hb_dir) / str(os.getpid())
+        self.seq = 0
+
+    def working(self) -> None:
+        self._write("run")
+
+    def idle(self) -> None:
+        self._write("idle")
+
+    def _write(self, state: str) -> None:
+        if self.path is None:
+            return
+        self.seq += 1
+        # Heartbeats are advisory: losing one must never fail a job
+        # (the supervisor falls back to global-progress staleness).
+        with suppress(OSError):
+            self.path.write_text(f"{self.seq}:{state}")
+
+
+def run_spec_chunk(
+    specs: Sequence[SessionSpec], hb_dir: Optional[str] = None
+) -> List[SessionResult]:
     """Execute a chunk of session jobs in order (worker entry point).
 
     Chunking amortizes process-pool overhead: one pickle round-trip
     (task submit + result return) covers ``len(specs)`` sessions
     instead of one.  Each job is still fully determined by its spec, so
     the chunk's results are the concatenation of what ``run_spec``
-    would return job by job.
+    would return job by job.  ``hb_dir`` names the heartbeat directory
+    the supervisor watches for hang detection.
     """
-    return [run_spec(spec) for spec in specs]
+    beat = _Heartbeat(hb_dir)
+    results: List[SessionResult] = []
+    for spec in specs:
+        beat.working()
+        results.append(run_spec(spec))
+    beat.idle()
+    return results
+
+
+def _run_with_retries(
+    spec: SessionSpec, policy: RetryPolicy, report: FabricReport
+) -> SessionResult:
+    """Run one job in-process with bounded, deterministic-jitter retries."""
+    attempts = max(1, policy.max_attempts)
+    for attempt in range(attempts):
+        try:
+            return run_spec(spec)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            report.failures += 1
+            if attempt + 1 >= attempts:
+                raise JobFailedError(
+                    f"session job (seed {spec.seed}) still failing after "
+                    f"{attempts} attempts: {exc!r}"
+                ) from exc
+            report.retries += 1
+            time.sleep(policy.backoff_s(spec.seed, attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _pool_hung(
+    hb_dir: Path, last_progress: float, timeout_s: float
+) -> bool:
+    """Heartbeat-based hang detection.
+
+    Hung when (a) some worker has sat inside one job (state ``run``)
+    beyond the timeout, or (b) nothing at all — no completion, no
+    heartbeat — has moved beyond the timeout (covers workers that died
+    before their first beat without breaking the pool).
+    """
+    now = time.time()
+    newest = last_progress
+    try:
+        entries = list(hb_dir.iterdir())
+    except OSError:
+        entries = []
+    for entry in entries:
+        beat = _read_heartbeat(entry)
+        if beat is None:
+            continue
+        mtime, state = beat
+        if state.endswith(":run") and now - mtime > timeout_s:
+            return True
+        newest = max(newest, mtime)
+    return now - newest > timeout_s
+
+
+def _read_heartbeat(entry: Path) -> Optional[Tuple[float, str]]:
+    """One worker's (mtime, state), or None mid-rewrite/already-gone."""
+    try:
+        return entry.stat().st_mtime, entry.read_text()
+    except OSError:
+        return None
+
+
+def _one_pool_pass(
+    specs: Sequence[SessionSpec],
+    queue: Sequence[int],
+    n_workers: int,
+    policy: RetryPolicy,
+    report: FabricReport,
+    complete: Callable[[int, SessionResult], None],
+) -> Tuple[List[int], List[int]]:
+    """Run ``queue`` (spec indices) on one process pool.
+
+    Returns ``(failed, lost)``: indices whose chunk raised an ordinary
+    exception (poisoned jobs — re-run them serially), and indices lost
+    to a broken or hung pool (candidates for a pool restart).  On
+    Ctrl-C, drains in-flight chunks (keeping their results) and
+    re-raises.
+    """
+    hb_dir = Path(tempfile.mkdtemp(prefix="repro-hb-"))
+    # Batched dispatch: K consecutive jobs per pool task, so a sweep
+    # pays one pickle round-trip per chunk rather than per session.
+    # Four chunks per worker keeps the tail balanced while still
+    # amortizing the per-task cost.  Placement stays by submission
+    # index: each chunk carries its indices, and results land in the
+    # slots those indices name, so completion order is irrelevant.
+    chunk_size = max(1, -(-len(queue) // (n_workers * 4)))
+    chunks = [
+        list(queue[start:start + chunk_size])
+        for start in range(0, len(queue), chunk_size)
+    ]
+    failed: List[int] = []
+    lost: List[int] = []
+    abandoned = False
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+    pending: Dict[Future[List[SessionResult]], List[int]] = {}
+    try:
+        for chunk in chunks:
+            pending[pool.submit(
+                run_spec_chunk, [specs[i] for i in chunk], str(hb_dir)
+            )] = chunk
+        last_progress = time.time()
+        while pending:
+            done, _ = wait(
+                set(pending),
+                timeout=policy.heartbeat_poll_s,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                if _pool_hung(hb_dir, last_progress, policy.hang_timeout_s):
+                    report.hangs += 1
+                    abandoned = True
+                    for future, chunk in pending.items():
+                        future.cancel()
+                        lost.extend(chunk)
+                    pending.clear()
+                    break
+                continue
+            last_progress = time.time()
+            for future in done:
+                chunk = pending.pop(future)
+                try:
+                    for index, result in zip(chunk, future.result()):
+                        complete(index, result)
+                except KeyboardInterrupt:
+                    # A worker saw SIGINT (Ctrl-C goes to the process
+                    # group): treat it exactly like a local interrupt.
+                    raise
+                except BrokenProcessPool:
+                    lost.extend(chunk)
+                except Exception:
+                    report.failures += 1
+                    failed.extend(chunk)
+    except KeyboardInterrupt:
+        # Drain: drop queued chunks, let running ones finish, and keep
+        # every result they produced — the checkpoint journal then
+        # holds everything that actually completed.
+        pool.shutdown(wait=False, cancel_futures=True)
+        for future, chunk in list(pending.items()):
+            # Chunks cancelled before starting (or dying mid-drain)
+            # simply stay un-journaled; the resume run recomputes them.
+            with suppress(Exception, CancelledError):
+                for index, result in zip(chunk, future.result()):
+                    complete(index, result)
+        pool.shutdown(wait=True)
+        raise
+    finally:
+        # A hung pool is abandoned (shutdown without waiting): joining
+        # it would block on the very worker the timeout flagged.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+        with suppress(OSError):
+            shutil.rmtree(hb_dir)
+    return failed, lost
+
+
+def _run_pool(
+    specs: Sequence[SessionSpec],
+    fan_out: Sequence[int],
+    n_workers: int,
+    policy: RetryPolicy,
+    report: FabricReport,
+    complete: Callable[[int, SessionResult], None],
+) -> None:
+    """Supervise pool execution of ``fan_out`` with graceful degradation."""
+    queue = list(fan_out)
+    restarts_left = max(0, policy.pool_restarts)
+    while True:
+        failed, lost = _one_pool_pass(
+            specs, queue, n_workers, policy, report, complete
+        )
+        # Poisoned chunks: re-run their jobs serially in-process, with
+        # bounded retries, so one bad job cannot take the sweep down.
+        for index in failed:
+            report.serial_fallback += 1
+            complete(index, _run_with_retries(specs[index], policy, report))
+        if not lost:
+            return
+        if restarts_left > 0:
+            restarts_left -= 1
+            report.pool_restarts += 1
+            warnings.warn(
+                f"worker pool lost with {len(lost)} job(s) unfinished; "
+                "restarting the pool",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            queue = sorted(lost)
+            continue
+        warnings.warn(
+            f"worker pool lost again; degrading to in-process serial "
+            f"execution for the remaining {len(lost)} job(s)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for index in sorted(lost):
+            report.serial_fallback += 1
+            complete(index, _run_with_retries(specs[index], policy, report))
+        return
 
 
 def run_sessions(
     specs: Sequence[SessionSpec],
     jobs: Optional[int] = None,
     cache: Any = None,
+    journal: Optional["SweepJournal"] = None,
+    policy: Optional[RetryPolicy] = None,
+    report: Optional[FabricReport] = None,
 ) -> List[SessionResult]:
     """Run session jobs, in parallel when asked, returning results in
     submission order regardless of completion order.
 
-    Cache hits short-circuit before any process is spawned; misses are
-    computed (fanned out across ``jobs`` workers when the spec allows
-    it) and written back.  Serial, parallel, and cached paths all yield
-    bit-identical results for the same specs.
+    Resolution order per job: checkpoint ``journal`` hit, then result
+    ``cache`` hit, then computation (fanned out across ``jobs`` worker
+    processes when the spec allows it).  Serial, parallel, cached,
+    resumed, and fault-recovered paths all yield bit-identical results
+    for the same specs.  ``policy`` tunes supervision (retries, hang
+    timeout, pool restarts); ``report`` collects fabric statistics.
     """
     store = resolve_cache(cache)
+    policy = policy if policy is not None else RetryPolicy()
+    stats = report if report is not None else FabricReport()
     results: List[Optional[SessionResult]] = [None] * len(specs)
     keys: Dict[int, str] = {}
+    journal_map = journal.begin() if journal is not None else {}
     fan_out: List[int] = []
     in_process: List[int] = []
+    quarantined_before = store.quarantined if store is not None else 0
+
+    def complete(index: int, result: SessionResult) -> None:
+        results[index] = result
+        stats.computed += 1
+        key = keys.get(index)
+        if key is None:
+            return
+        if journal is not None:
+            journal.record(key, result)
+        if store is not None:
+            store.put(key, result)
+
     for index, spec in enumerate(specs):
-        if store is not None and spec.cacheable:
-            key = cache_key(spec)
-            keys[index] = key
+        if not spec.cacheable:
+            (fan_out if spec.parallel_safe else in_process).append(index)
+            continue
+        key = cache_key(spec)
+        keys[index] = key
+        resumed = journal_map.get(key)
+        if resumed is not None:
+            results[index] = resumed
+            stats.resumed += 1
+            continue
+        if store is not None:
             hit = store.get(key)
             if hit is not None:
                 results[index] = hit
+                stats.cache_hits += 1
+                if journal is not None:
+                    journal.record(key, hit)
                 continue
-        (fan_out if spec.parallel_safe else in_process).append(index)
+        fan_out.append(index)
 
-    n_workers = effective_jobs(jobs, len(fan_out))
-    if fan_out:
-        if n_workers <= 1:
-            for index in fan_out:
-                results[index] = run_spec(specs[index])
-        else:
-            # Batched dispatch: K consecutive jobs per pool task, so a
-            # sweep pays one pickle round-trip per chunk rather than
-            # per session.  Four chunks per worker keeps the tail
-            # balanced (a slow chunk overlaps others' remaining work)
-            # while still amortizing the per-task cost.  Placement
-            # stays by submission index: each chunk carries its
-            # indices, and results land in the slots those indices
-            # name, so completion order remains irrelevant.
-            chunk_size = max(1, -(-len(fan_out) // (n_workers * 4)))
-            chunks = [
-                fan_out[start:start + chunk_size]
-                for start in range(0, len(fan_out), chunk_size)
-            ]
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = {
-                    pool.submit(
-                        run_spec_chunk, [specs[index] for index in chunk]
-                    ): chunk
-                    for chunk in chunks
-                }
-                for future in as_completed(futures):
-                    for index, result in zip(futures[future], future.result()):
-                        results[index] = result
-    # Shared-instance ABR jobs: run in submission order, in-process, so
-    # their cross-repetition state evolves exactly as a serial run's.
-    for index in in_process:
-        results[index] = run_spec(specs[index])
+    try:
+        n_workers = effective_jobs(jobs, len(fan_out))
+        if fan_out:
+            if n_workers <= 1:
+                for index in fan_out:
+                    complete(
+                        index, _run_with_retries(specs[index], policy, stats)
+                    )
+            else:
+                _run_pool(specs, fan_out, n_workers, policy, stats, complete)
+        # Shared-instance ABR jobs: run in submission order, in-process,
+        # so their cross-repetition state evolves exactly as a serial
+        # run's.
+        for index in in_process:
+            complete(index, _run_with_retries(specs[index], policy, stats))
+    except KeyboardInterrupt:
+        stats.interrupted = True
+        journal_path: Optional[Path] = None
+        if journal is not None:
+            journal_path = journal.path
+            journal.close()
+        if store is not None:
+            stats.quarantined += store.quarantined - quarantined_before
+        raise SweepInterrupted(
+            completed=sum(1 for r in results if r is not None),
+            total=len(specs),
+            journal_path=journal_path,
+        ) from None
 
+    if journal is not None:
+        journal.close()
     if store is not None:
-        for index in fan_out:
-            if index in keys:
-                store.put(keys[index], results[index])
+        stats.quarantined += store.quarantined - quarantined_before
     return results  # type: ignore[return-value]

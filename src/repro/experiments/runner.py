@@ -16,12 +16,21 @@ Serial, parallel, and cached paths produce bit-identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from ..core.analysis import CellStats
 from ..video.encoding import VideoAsset, default_video
 from ..video.player import SessionResult
-from .parallel import SessionSpec, repetition_seeds, run_sessions
+from .parallel import (
+    FabricReport,
+    RetryPolicy,
+    SessionSpec,
+    repetition_seeds,
+    run_sessions,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .checkpoint import SweepJournal
 
 #: The paper's repetition count.
 DEFAULT_REPETITIONS = 5
@@ -106,13 +115,19 @@ def run_cell(
     abr: Any = None,
     jobs: Optional[int] = None,
     cache: Any = None,
+    journal: Optional["SweepJournal"] = None,
+    policy: Optional[RetryPolicy] = None,
+    report: Optional[FabricReport] = None,
 ) -> CellResult:
     """Run one cell ``repetitions`` times with distinct seeds.
 
     ``jobs`` fans repetitions out over worker processes (None/1 =
     serial, 0 = all cores); ``cache`` is None for the default on-disk
     result cache, False to disable it, or a
-    :class:`~repro.experiments.parallel.ResultCache`.
+    :class:`~repro.experiments.parallel.ResultCache`.  ``journal``,
+    ``policy``, and ``report`` pass straight to
+    :func:`~repro.experiments.parallel.run_sessions` (checkpointing,
+    supervision tuning, fabric statistics).
     """
     specs = cell_specs(
         device=device,
@@ -127,7 +142,10 @@ def run_cell(
         organic_apps=organic_apps,
         abr=abr,
     )
-    results = run_sessions(specs, jobs=jobs, cache=cache)
+    results = run_sessions(
+        specs, jobs=jobs, cache=cache, journal=journal, policy=policy,
+        report=report,
+    )
     return _cell_result(specs, results)
 
 
@@ -135,6 +153,9 @@ def run_cells(
     cells: Sequence[Dict[str, Any]],
     jobs: Optional[int] = None,
     cache: Any = None,
+    journal: Optional["SweepJournal"] = None,
+    policy: Optional[RetryPolicy] = None,
+    report: Optional[FabricReport] = None,
 ) -> List[CellResult]:
     """Run many cells through one fan-out: the unit of parallelism is
     (cell × repetition), so a grid saturates ``jobs`` workers even when
@@ -143,10 +164,20 @@ def run_cells(
     ``cells`` holds :func:`run_cell` keyword dicts; results come back
     in cell order, repetitions in seed order — identical to calling
     :func:`run_cell` on each dict serially.
+
+    With a ``journal`` attached, every completed (cell × repetition)
+    job is checkpointed as it finishes; a :exc:`KeyboardInterrupt`
+    drains in-flight workers, leaves the journal durable, and
+    propagates as :class:`~repro.experiments.parallel.SweepInterrupted`
+    so CLIs can print a resume hint and exit with status 130 — no
+    orphaned worker processes either way.
     """
     per_cell = [cell_specs(**cell) for cell in cells]
     flat: List[SessionSpec] = [spec for specs in per_cell for spec in specs]
-    flat_results = run_sessions(flat, jobs=jobs, cache=cache)
+    flat_results = run_sessions(
+        flat, jobs=jobs, cache=cache, journal=journal, policy=policy,
+        report=report,
+    )
     out: List[CellResult] = []
     cursor = 0
     for specs in per_cell:

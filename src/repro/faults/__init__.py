@@ -1,0 +1,28 @@
+"""Chaos-injection subsystem: deterministic fault plans for the fabric.
+
+See :mod:`repro.faults.injector` for the fault-point machinery,
+:mod:`repro.faults.chaos` for the canonical chaos scenarios behind
+``repro chaos``, and ``docs/robustness.md`` for the failure model.
+"""
+
+from .injector import (
+    FAULT_KINDS,
+    PLAN_ENV,
+    Fault,
+    FaultPlan,
+    FaultPlanError,
+    InjectedFault,
+    active_plan,
+    installed_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PLAN_ENV",
+    "Fault",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedFault",
+    "active_plan",
+    "installed_plan",
+]

@@ -1,0 +1,288 @@
+"""Deterministic fault injection for the experiment fabric.
+
+The paper's subject is graceful degradation under pressure; this module
+lets the *fabric itself* be tested the same way.  A :class:`FaultPlan`
+names a set of **fault points** — strings such as ``job:<digest>`` or
+``checker:PageConservationChecker`` that instrumented code passes to
+:meth:`FaultPlan.fire` — and for each point a fault *kind*:
+
+``raise``
+    raise :class:`InjectedFault` at the fault point (a poisoned job or
+    a crashing checker);
+``kill``
+    terminate the current process with ``os._exit`` (an lmkd-style
+    worker kill mid-job; never fires in the supervising host process);
+``stall``
+    sleep past the supervisor's hang timeout (a starved worker; never
+    fires in the host process, so serial fallback cannot deadlock);
+``interrupt``
+    raise :class:`KeyboardInterrupt` (a Ctrl-C arriving mid-sweep —
+    SIGINT goes to the whole process group, so workers see it too).
+
+Determinism comes from two properties.  Plans are *data*: which points
+fault, and how often, is decided up front (scenario builders in
+:mod:`repro.faults.chaos` derive targets from a seed via hashlib, never
+from wall clock or pids).  Firing is *exactly-once per budget*: every
+fault carries ``times`` ledger slots, claimed atomically
+(``O_CREAT | O_EXCL``) in a ledger directory shared by every process in
+the sweep, so a fault fires on exactly the first ``times`` matching
+executions no matter how jobs are retried or which worker runs them.
+
+Plans travel to worker processes through the ``REPRO_FAULT_PLAN``
+environment variable (a path to the plan's JSON file), which both
+``fork`` and ``spawn`` start methods propagate.  With the variable
+unset — the production case — :func:`active_plan` is a dictionary
+lookup returning ``None``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+#: Environment variable naming the active plan's JSON file.
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+PLAN_VERSION = 1
+
+#: The supported fault kinds (see module docstring).
+FAULT_KINDS = ("raise", "kill", "stall", "interrupt")
+
+#: Kinds that only ever fire in a worker process: firing them in the
+#: supervising host would kill or deadlock the very layer whose
+#: recovery they exist to exercise.
+WORKER_ONLY_KINDS = frozenset({"kill", "stall"})
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise``-kind fault throws at its fault point."""
+
+
+class FaultPlanError(ValueError):
+    """An unloadable or malformed fault plan (always loud, never skipped)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault: where it fires, what it does, and how often."""
+
+    point: str
+    kind: str
+    times: int = 1
+    stall_s: float = 2.0
+    exit_code: int = 39
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r} (known: {FAULT_KINDS})"
+            )
+        if self.times < 1:
+            raise FaultPlanError(f"fault times must be >= 1, got {self.times}")
+
+    @property
+    def fault_id(self) -> str:
+        """Stable identity for ledger slots (content-derived, not id())."""
+        blob = (
+            f"{self.point}\x00{self.kind}\x00{self.times}"
+            f"\x00{self.stall_s!r}\x00{self.exit_code}"
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "point": self.point,
+            "kind": self.kind,
+            "times": self.times,
+            "stall_s": self.stall_s,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Fault":
+        try:
+            return cls(
+                point=str(payload["point"]),
+                kind=str(payload["kind"]),
+                times=int(payload.get("times", 1)),
+                stall_s=float(payload.get("stall_s", 2.0)),
+                exit_code=int(payload.get("exit_code", 39)),
+            )
+        except KeyError as exc:
+            raise FaultPlanError(f"fault entry missing field {exc}") from exc
+
+
+@dataclass
+class FaultPlan:
+    """A set of faults plus the shared ledger that makes firing exact.
+
+    ``host_pid`` is recorded at install time: :data:`WORKER_ONLY_KINDS`
+    faults check it so that in-process fallback execution (the recovery
+    path) can never kill or stall the supervisor itself.
+    """
+
+    ledger_dir: str
+    host_pid: int = field(default_factory=os.getpid)
+    faults: List[Fault] = field(default_factory=list)
+    version: int = PLAN_VERSION
+
+    # ------------------------------------------------------------------
+    def fire(self, point: str) -> None:
+        """Fire every armed fault registered at ``point``.
+
+        A fault whose ledger budget is exhausted (or that is worker-only
+        while we are the host process) is a no-op, which is what lets
+        retried executions of a faulted job succeed deterministically.
+        """
+        for fault in self.faults:
+            if fault.point != point:
+                continue
+            if fault.kind in WORKER_ONLY_KINDS and os.getpid() == self.host_pid:
+                continue
+            if self._claim(fault):
+                self._execute(fault)
+
+    def fired(self, point: Optional[str] = None) -> int:
+        """How many firings the ledger records (for ``point``, or all)."""
+        count = 0
+        for fault in self.faults:
+            if point is not None and fault.point != point:
+                continue
+            for slot in range(fault.times):
+                if (Path(self.ledger_dir) / f"{fault.fault_id}.{slot}").exists():
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def _claim(self, fault: Fault) -> bool:
+        """Atomically claim one of the fault's ``times`` ledger slots."""
+        ledger = Path(self.ledger_dir)
+        ledger.mkdir(parents=True, exist_ok=True)
+        for slot in range(fault.times):
+            path = ledger / f"{fault.fault_id}.{slot}"
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            # Slot already claimed by another process: by design, try
+            # the next one — exactly-once is the whole point.
+            except FileExistsError:  # repro: noqa[REP109]
+                continue
+            os.write(fd, f"{os.getpid()}".encode())
+            os.close(fd)
+            return True
+        return False
+
+    def _execute(self, fault: Fault) -> None:
+        if fault.kind == "raise":
+            raise InjectedFault(f"injected fault at {fault.point}")
+        if fault.kind == "interrupt":
+            raise KeyboardInterrupt(f"injected interrupt at {fault.point}")
+        if fault.kind == "kill":
+            os._exit(fault.exit_code)
+        if fault.kind == "stall":
+            time.sleep(fault.stall_s)
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "host_pid": self.host_pid,
+            "ledger_dir": self.ledger_dir,
+            "faults": [fault.to_payload() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if payload.get("version") != PLAN_VERSION:
+            raise FaultPlanError(
+                f"unsupported fault plan version {payload.get('version')!r}"
+            )
+        try:
+            return cls(
+                ledger_dir=str(payload["ledger_dir"]),
+                host_pid=int(payload["host_pid"]),
+                faults=[
+                    Fault.from_payload(entry) for entry in payload["faults"]
+                ],
+            )
+        except KeyError as exc:
+            raise FaultPlanError(f"fault plan missing field {exc}") from exc
+
+    def write(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_payload(), indent=2))
+
+    @classmethod
+    def load(cls, path: Path) -> "FaultPlan":
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise FaultPlanError(f"unreadable fault plan {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"fault plan {path} is not a JSON object")
+        return cls.from_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Plan discovery (per-process cache keyed on the environment variable).
+# ----------------------------------------------------------------------
+_loaded_source: Optional[str] = None
+_loaded_plan: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed fault plan, or ``None`` (the production fast path).
+
+    The plan file is parsed at most once per (process, path); a corrupt
+    plan raises :class:`FaultPlanError` rather than silently running
+    the sweep un-faulted.
+    """
+    global _loaded_source, _loaded_plan
+    source = os.environ.get(PLAN_ENV)
+    if source != _loaded_source:
+        _loaded_plan = FaultPlan.load(Path(source)) if source else None
+        _loaded_source = source
+    return _loaded_plan
+
+
+def _reset_plan_cache() -> None:
+    """Forget the cached plan (used after installing/clearing plans)."""
+    global _loaded_source, _loaded_plan
+    _loaded_source = None
+    _loaded_plan = None
+
+
+@contextmanager
+def installed_plan(
+    faults: Sequence[Fault], work_dir: Optional[Path] = None
+) -> Iterator[FaultPlan]:
+    """Install ``faults`` for the duration of a ``with`` block.
+
+    Writes the plan JSON and its ledger directory under ``work_dir``
+    (a fresh temporary directory by default), exports
+    :data:`PLAN_ENV` so pool workers inherit the plan, and restores the
+    previous environment on exit.
+    """
+    root = Path(work_dir) if work_dir is not None else Path(
+        tempfile.mkdtemp(prefix="repro-faults-")
+    )
+    plan = FaultPlan(ledger_dir=str(root / "ledger"), faults=list(faults))
+    plan_path = root / "plan.json"
+    plan.write(plan_path)
+    previous = os.environ.get(PLAN_ENV)
+    os.environ[PLAN_ENV] = str(plan_path)
+    _reset_plan_cache()
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(PLAN_ENV, None)
+        else:
+            os.environ[PLAN_ENV] = previous
+        _reset_plan_cache()

@@ -26,8 +26,9 @@ to 250 simulated milliseconds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
+from ..faults import active_plan
 from ..kernel.memory import MemoryAccountingError, MemoryState
 from ..kernel.pressure import MemoryPressureLevel, PressureMonitor
 from ..sched.scheduler import SchedClass, Thread
@@ -61,6 +62,11 @@ class Checker:
     """Base class: one invariant family, attached to one harness."""
 
     name = "checker"
+
+    #: Set by the harness when the checker itself crashed (raised
+    #: something other than an invariant violation) and was taken out
+    #: of rotation — graceful degradation, recorded in the report.
+    disabled: bool = False
 
     def attach(self, harness: "ValidationHarness") -> None:
         self.harness = harness
@@ -440,7 +446,7 @@ class ValidationHarness:
         """Run every checker's poll pass immediately."""
         self.polls += 1
         for checker in self.checkers:
-            checker.poll()
+            self._run_checker(checker, checker.poll)
 
     def finalize(self) -> List[Violation]:
         """Run final checks, stop polling, and return all violations."""
@@ -449,8 +455,38 @@ class ValidationHarness:
             self._poll_service.stop()
             self.check_now()
             for checker in self.checkers:
-                checker.finalize()
+                self._run_checker(checker, checker.finalize)
         return self.violations
+
+    def _run_checker(self, checker: Checker, phase: Callable[[], None]) -> None:
+        """Run one checker phase with crash containment.
+
+        A checker that raises anything other than an
+        :class:`InvariantViolation` is itself broken; the simulation
+        under test is not.  Checkers are strictly read-only, so the
+        graceful response is to record the crash as a violation entry
+        (the validation report still fails, with a readable message),
+        disable the checker, and let the session finish — never to
+        abort a multi-hour sweep with a checker traceback.  The
+        ``checker:<ClassName>`` fault point lets the chaos suite prove
+        this containment.
+        """
+        if checker.disabled:
+            return
+        try:
+            plan = active_plan()
+            if plan is not None:
+                plan.fire(f"checker:{type(checker).__name__}")
+            phase()
+        except InvariantViolation:
+            raise
+        except Exception as exc:
+            checker.disabled = True
+            self.violations.append(Violation(
+                self.device.sim.now,
+                checker.name,
+                f"checker crashed and was disabled: {exc!r}",
+            ))
 
 
 def inject_accounting_fault(state: MemoryState, pages: int = 64) -> None:

@@ -78,7 +78,24 @@ def run_validation(
     for name in sorted(CANONICAL_SESSIONS):
         session = StreamingSession(validate=True, **CANONICAL_SESSIONS[name])
         session.harness.raise_on_violation = False
-        result = session.run()
+        try:
+            result = session.run()
+        except Exception as exc:
+            # Graceful degradation: one canonical session blowing up
+            # (a harness bug, an injected fault, a broken checker
+            # callback) must not abort validation of the others.  The
+            # crash is recorded, the report fails readably, and the
+            # remaining sessions still get checked.
+            report.violations[name] = [
+                *session.harness.finalize(),
+                Violation(
+                    session.device.sim.now,
+                    "harness",
+                    f"validation session crashed: {exc!r}",
+                ),
+            ]
+            report.golden[name] = [f"no digest (session crashed: {exc!r})"]
+            continue
         report.violations[name] = session.harness.finalize()
         digest = session_digest(result)
         if update_golden:

@@ -1,0 +1,47 @@
+"""Bad fixture for REP109: swallowed exceptions in a fabric layer."""
+
+
+def bare_handler(job):
+    try:
+        return job()
+    except:  # 1: bare except catches SystemExit/KeyboardInterrupt too
+        return None
+
+
+def empty_pass(job):
+    try:
+        return job()
+    except ValueError:  # 2: handler observes and records nothing
+        pass
+
+
+def empty_continue(jobs):
+    done = []
+    for job in jobs:
+        try:
+            done.append(job())
+        except (OSError, RuntimeError):  # 3: continue-only body
+            continue
+    return done
+
+
+def empty_ellipsis(job):
+    try:
+        return job()
+    except KeyError:  # 4: `...` is still a silent swallow
+        ...
+
+
+def good_counted(job, report):
+    try:
+        return job()
+    except ValueError:  # fine: the failure is recorded
+        report.failures += 1
+        return None
+
+
+def good_reraise(job):
+    try:
+        return job()
+    except KeyboardInterrupt:  # fine: re-raised, not swallowed
+        raise

@@ -1,0 +1,19 @@
+"""REP109 scope fixture: same swallow patterns, outside the fabric.
+
+REP109 is confined to ``experiments/`` and ``faults/`` — the layers
+whose job is handling failure — so nothing here may fire.
+"""
+
+
+def bare_handler(job):
+    try:
+        return job()
+    except:  # noqa: E722 - deliberately bad, but out of REP109's scope
+        return None
+
+
+def empty_pass(job):
+    try:
+        return job()
+    except ValueError:
+        pass

@@ -24,6 +24,7 @@ def findings_for(rel_path, rule):
     ("repro/kernel/bad_id.py", "REP105", 1),
     ("repro/core/bad_float_eq.py", "REP106", 2),
     ("repro/kernel/bad_poll_loop.py", "REP108", 2),
+    ("repro/experiments/bad_swallow.py", "REP109", 4),
 ])
 def test_bad_fixture_finding_counts(rel_path, rule, expected):
     found = findings_for(rel_path, rule)
@@ -53,6 +54,23 @@ def test_poll_loop_rule_spares_backoff_retries():
     is a backoff is a legitimate self-reschedule and must not fire."""
     found = findings_for("repro/kernel/bad_poll_loop.py", "REP108")
     assert {f.line for f in found} == {13, 21}  # _poll and sample only
+
+
+def test_swallow_rule_is_scoped_to_fabric_layers():
+    """The same swallow patterns outside experiments/ and faults/ are
+    other packages' business — REP109 must not fire there."""
+    found = findings_for("repro/kernel/swallow_out_of_scope.py", "REP109")
+    assert found == []
+
+
+def test_swallow_rule_spares_handlers_that_record():
+    found = findings_for("repro/experiments/bad_swallow.py", "REP109")
+    flagged_lines = {f.line for f in found}
+    messages = " ".join(f.message for f in found)
+    assert "bare `except:`" in messages
+    assert "contextlib.suppress" in messages
+    # The counting and re-raising handlers at the bottom are clean.
+    assert max(flagged_lines) < 35
 
 
 def test_good_fixture_is_clean():

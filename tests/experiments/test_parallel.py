@@ -177,8 +177,10 @@ def test_corrupt_entry_is_recomputed_and_replaced(tmp_path):
     [clean] = run_sessions([_spec()], cache=store)
     path = store.path_for(cache_key(_spec()))
     path.write_bytes(b"not a pickle")
-    [recovered] = run_sessions([_spec()], cache=store)
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        [recovered] = run_sessions([_spec()], cache=store)
     assert recovered == clean
+    assert store.quarantined == 1
     # ... and the rewritten entry is valid again:
     with path.open("rb") as fh:
         assert pickle.load(fh) == clean
@@ -192,7 +194,8 @@ def test_truncated_entry_is_recomputed_and_replaced(tmp_path):
     path = store.path_for(cache_key(_spec()))
     blob = path.read_bytes()
     path.write_bytes(blob[: len(blob) // 2])
-    [recovered] = run_sessions([_spec()], cache=store)
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        [recovered] = run_sessions([_spec()], cache=store)
     assert recovered == clean
     with path.open("rb") as fh:
         assert pickle.load(fh) == clean
@@ -203,7 +206,8 @@ def test_wrong_payload_type_is_a_miss(tmp_path):
     key = cache_key(_spec())
     store.path_for(key).parent.mkdir(parents=True)
     store.path_for(key).write_bytes(pickle.dumps({"not": "a result"}))
-    assert store.get(key) is None
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        assert store.get(key) is None
 
 
 def test_resolve_cache_modes(tmp_path, monkeypatch):

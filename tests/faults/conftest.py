@@ -1,0 +1,13 @@
+"""Fault-suite fixtures: every test starts with no fault plan armed."""
+
+import pytest
+
+from repro.faults import injector
+
+
+@pytest.fixture(autouse=True)
+def _no_inherited_fault_plan(monkeypatch):
+    monkeypatch.delenv(injector.PLAN_ENV, raising=False)
+    injector._reset_plan_cache()
+    yield
+    injector._reset_plan_cache()

@@ -1,0 +1,83 @@
+"""The chaos suite: every scenario's acceptance property, via pytest.
+
+One module-scoped harness computes the fault-free serial baseline once;
+each scenario then injects its failure mode and must reproduce the
+baseline digest bit-for-bit while exercising the intended recovery
+path (pool restart, hang detection, retries, quarantine, resume).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.faults.chaos import ChaosHarness, canonical_specs, results_digest
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    return ChaosHarness(
+        jobs=2, seed=7, duration_s=2.0,
+        work_dir=tmp_path_factory.mktemp("chaos"),
+    )
+
+
+def test_kill_scenario(harness):
+    outcome = harness.run_kill()
+    assert outcome.passed, outcome.detail
+
+
+def test_stall_scenario(harness):
+    outcome = harness.run_stall()
+    assert outcome.passed, outcome.detail
+    assert outcome.fabric["hangs"] >= 1
+
+
+def test_error_scenario(harness):
+    outcome = harness.run_error()
+    assert outcome.passed, outcome.detail
+    assert outcome.fabric["retries"] >= 1
+
+
+def test_corrupt_scenario(harness):
+    outcome = harness.run_corrupt()
+    assert outcome.passed, outcome.detail
+    assert outcome.fabric["quarantined"] == 2
+
+
+def test_interrupt_scenario(harness):
+    outcome = harness.run_interrupt()
+    assert outcome.passed, outcome.detail
+    assert outcome.fabric["resumed"] >= 1
+
+
+def test_unknown_scenario_is_rejected(harness):
+    with pytest.raises(KeyError, match="unknown chaos scenario"):
+        harness.run(["meteor"])
+
+
+def test_results_digest_separates_value_changes():
+    specs = canonical_specs(duration_s=2.0)[:1]
+    from repro.experiments.parallel import run_sessions
+
+    a = run_sessions(specs, cache=False)
+    b = run_sessions(specs, cache=False)
+    assert results_digest(a) == results_digest(b)
+    other = canonical_specs(seed=101, duration_s=2.0)[:1]
+    c = run_sessions(other, cache=False)
+    assert results_digest(c) != results_digest(a)
+
+
+def test_chaos_cli_error_scenario(capsys):
+    code = cli.main([
+        "chaos", "--scenarios", "error", "--jobs", "2",
+        "--duration", "2.0", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["passed"] is True
+    [scenario] = payload["scenarios"]
+    assert scenario["name"] == "error"
+    assert scenario["fabric"]["retries"] >= 1

@@ -1,0 +1,109 @@
+"""Checkpoint journal tests: incremental durability and exact resume."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import parallel
+from repro.experiments.checkpoint import (
+    JOURNAL_MAGIC,
+    JOURNAL_VERSION,
+    SweepJournal,
+    default_journal_path,
+    sweep_digest,
+)
+from repro.experiments.parallel import (
+    SCHEMA_VERSION,
+    FabricReport,
+    SessionSpec,
+    cache_key,
+    run_sessions,
+)
+
+
+def _spec(seed=7, **overrides):
+    base = dict(
+        device="nexus5", resolution="240p", fps=30, pressure="normal",
+        client=None, duration_s=2.0, seed=seed,
+    )
+    base.update(overrides)
+    return SessionSpec(**base)
+
+
+def test_journal_records_and_replays(tmp_path):
+    specs = [_spec(seed=s) for s in (1, 2)]
+    journal = SweepJournal(tmp_path / "sweep.journal", resume=False)
+    results = run_sessions(specs, cache=False, journal=journal)
+    assert journal.recorded == 2
+
+    reopened = SweepJournal(tmp_path / "sweep.journal")
+    replayed = reopened.begin()
+    reopened.close()
+    assert replayed == {
+        cache_key(spec): result for spec, result in zip(specs, results)
+    }
+
+
+def test_resume_replays_instead_of_recomputing(tmp_path, monkeypatch):
+    specs = [_spec(seed=s) for s in (1, 2, 3)]
+    path = tmp_path / "sweep.journal"
+    first = run_sessions(
+        specs, cache=False, journal=SweepJournal(path, resume=False)
+    )
+
+    def refuse(spec):
+        raise AssertionError(f"job recomputed on resume: seed {spec.seed}")
+
+    monkeypatch.setattr(parallel, "run_spec", refuse)
+    report = FabricReport()
+    resumed = run_sessions(
+        specs, cache=False, journal=SweepJournal(path), report=report
+    )
+    assert resumed == first
+    assert report.resumed == 3
+    assert report.computed == 0
+
+
+def test_truncated_tail_line_is_tolerated(tmp_path):
+    """A kill mid-append leaves at most one partial line; the journal
+    must keep every complete record and count the damage."""
+    specs = [_spec(seed=s) for s in (1, 2)]
+    path = tmp_path / "sweep.journal"
+    run_sessions(specs, cache=False, journal=SweepJournal(path, resume=False))
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write('{"key": "deadbeef", "result": "QUJ')  # no newline
+
+    journal = SweepJournal(path)
+    entries = journal.begin()
+    journal.close()
+    assert len(entries) == 2
+    assert journal.skipped == 1
+
+
+def test_stale_schema_journal_is_discarded(tmp_path):
+    """Results journaled under a different SCHEMA_VERSION are not
+    comparable; the whole journal is dropped and rewritten fresh."""
+    path = tmp_path / "sweep.journal"
+    header = {
+        "journal": JOURNAL_MAGIC,
+        "version": JOURNAL_VERSION,
+        "schema": SCHEMA_VERSION + 1,
+    }
+    path.write_text(json.dumps(header) + '\n{"key":"k","result":"QUJD"}\n')
+
+    journal = SweepJournal(path)
+    assert journal.begin() == {}
+    journal.close()
+    assert json.loads(path.read_text().splitlines()[0])["schema"] == (
+        SCHEMA_VERSION
+    )
+
+
+def test_sweep_digest_names_the_grid_not_the_order(tmp_path):
+    specs = [_spec(seed=s) for s in (1, 2, 3)]
+    assert sweep_digest(specs) == sweep_digest(list(reversed(specs)))
+    assert sweep_digest(specs) != sweep_digest(specs[:2])
+    path = default_journal_path(specs, root=tmp_path)
+    assert path == default_journal_path(specs, root=tmp_path)
+    assert path.suffix == ".journal"
+    assert path.parent == tmp_path / "journals"

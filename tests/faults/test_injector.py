@@ -1,0 +1,127 @@
+"""Unit tests for the deterministic fault injector.
+
+The injector's contract is *exactly-once per budget*: a fault fires on
+the first ``times`` matching executions — no matter how many processes
+share the plan or how often a job is retried — and never fires a
+worker-only kind (kill, stall) in the supervising host process.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faults.injector import (
+    PLAN_ENV,
+    Fault,
+    FaultPlan,
+    FaultPlanError,
+    InjectedFault,
+    active_plan,
+    installed_plan,
+)
+
+
+def test_fault_rejects_unknown_kind_and_zero_budget():
+    with pytest.raises(FaultPlanError):
+        Fault(point="p", kind="explode")
+    with pytest.raises(FaultPlanError):
+        Fault(point="p", kind="raise", times=0)
+
+
+def test_fault_id_is_content_derived():
+    a = Fault(point="p", kind="raise", times=2)
+    assert a.fault_id == Fault(point="p", kind="raise", times=2).fault_id
+    assert a.fault_id != Fault(point="p", kind="raise", times=3).fault_id
+    assert a.fault_id != Fault(point="q", kind="raise", times=2).fault_id
+
+
+def test_raise_fault_fires_exactly_times(tmp_path):
+    plan = FaultPlan(
+        ledger_dir=str(tmp_path / "ledger"),
+        faults=[Fault(point="job:abc", kind="raise", times=2)],
+    )
+    for _ in range(2):
+        with pytest.raises(InjectedFault):
+            plan.fire("job:abc")
+    plan.fire("job:abc")  # budget exhausted: no-op
+    plan.fire("job:other")  # different point: never armed
+    assert plan.fired("job:abc") == 2
+    assert plan.fired() == 2
+
+
+def test_ledger_is_shared_across_plan_instances(tmp_path):
+    """Two processes loading the same plan share one firing budget; model
+    that with two FaultPlan objects over the same ledger directory."""
+    fault = Fault(point="p", kind="raise", times=1)
+    first = FaultPlan(ledger_dir=str(tmp_path), faults=[fault])
+    second = FaultPlan(ledger_dir=str(tmp_path), faults=[fault])
+    with pytest.raises(InjectedFault):
+        first.fire("p")
+    second.fire("p")  # the single slot is already claimed
+    assert second.fired("p") == 1
+
+
+def test_worker_only_kinds_never_fire_in_host(tmp_path):
+    """kill/stall in the host process would kill or deadlock the
+    supervisor mid-recovery; the plan must skip them (loudly visible if
+    not: this test's process would exit 39 or sleep 60 s)."""
+    plan = FaultPlan(
+        ledger_dir=str(tmp_path),
+        host_pid=os.getpid(),
+        faults=[
+            Fault(point="p", kind="kill"),
+            Fault(point="p", kind="stall", stall_s=60.0),
+        ],
+    )
+    plan.fire("p")
+    assert plan.fired("p") == 0  # nothing claimed, budget intact
+
+
+def test_interrupt_fault_raises_keyboard_interrupt(tmp_path):
+    plan = FaultPlan(
+        ledger_dir=str(tmp_path),
+        faults=[Fault(point="p", kind="interrupt")],
+    )
+    with pytest.raises(KeyboardInterrupt):
+        plan.fire("p")
+
+
+def test_plan_file_roundtrip(tmp_path):
+    plan = FaultPlan(
+        ledger_dir=str(tmp_path / "ledger"),
+        faults=[
+            Fault(point="job:x", kind="kill", exit_code=41),
+            Fault(point="checker:Foo", kind="raise", times=3),
+        ],
+    )
+    path = tmp_path / "plan.json"
+    plan.write(path)
+    loaded = FaultPlan.load(path)
+    assert loaded.to_payload() == plan.to_payload()
+
+
+def test_malformed_plan_is_loud(tmp_path, monkeypatch):
+    """A corrupt plan must raise, never silently run the sweep
+    un-faulted (a chaos run that tests nothing but reports green)."""
+    path = tmp_path / "plan.json"
+    path.write_text("not json at all")
+    with pytest.raises(FaultPlanError):
+        FaultPlan.load(path)
+    monkeypatch.setenv(PLAN_ENV, str(path))
+    with pytest.raises(FaultPlanError):
+        active_plan()
+
+
+def test_installed_plan_exports_and_restores_env(tmp_path):
+    assert active_plan() is None
+    with installed_plan(
+        [Fault(point="p", kind="raise")], tmp_path
+    ) as plan:
+        assert os.environ[PLAN_ENV] == str(tmp_path / "plan.json")
+        live = active_plan()
+        assert live is not None
+        assert live.to_payload() == plan.to_payload()
+    assert PLAN_ENV not in os.environ
+    assert active_plan() is None

@@ -1,0 +1,82 @@
+"""End-to-end resilience: interrupted sweeps resume; checkers are contained.
+
+These drive the real CLI (``repro sweep``) and the real validation
+harness, with faults injected at the same points real failures occur.
+"""
+
+from __future__ import annotations
+
+from repro import cli
+from repro.core.session import StreamingSession
+from repro.experiments.parallel import cache_key
+from repro.experiments.runner import cell_specs
+from repro.faults.injector import Fault, installed_plan
+
+SWEEP_CELL = dict(
+    device="nexus5", resolution="240p", fps=30,
+    pressure="normal", duration_s=4.0, repetitions=2,
+)
+
+
+def _sweep_args(journal):
+    return [
+        "sweep", "--devices", SWEEP_CELL["device"],
+        "--resolutions", SWEEP_CELL["resolution"],
+        "--fps", str(SWEEP_CELL["fps"]),
+        "--pressures", SWEEP_CELL["pressure"],
+        "--duration", str(SWEEP_CELL["duration_s"]),
+        "--reps", str(SWEEP_CELL["repetitions"]),
+        "--no-cache", "--journal", str(journal),
+    ]
+
+
+def test_interrupted_sweep_exits_130_and_resumes(tmp_path, capsys):
+    """The Ctrl-C satellite: a mid-sweep interrupt drains to the
+    journal, exits 130 with a resume hint, and ``--resume`` replays the
+    completed job instead of re-running it."""
+    journal = tmp_path / "sweep.journal"
+    specs = cell_specs(**SWEEP_CELL)
+    # Interrupt during the *second* job, so the first is checkpointed.
+    with installed_plan(
+        [Fault(point=f"job:{cache_key(specs[1])}", kind="interrupt")],
+        tmp_path / "plan",
+    ):
+        assert cli.main(_sweep_args(journal)) == 130
+    err = capsys.readouterr().err
+    assert "interrupted: 1/2 jobs" in err
+    assert "--resume" in err
+    assert str(journal) in err
+
+    assert cli.main(_sweep_args(journal) + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "computed 1" in out
+    assert "resumed 1" in out
+
+
+def test_crashing_checker_is_contained(tmp_path):
+    """A checker that raises (here: by injection at its fault point) is
+    disabled and recorded as a violation; the session still completes
+    and — checkers being read-only — its result is unperturbed."""
+
+    def run_session():
+        session = StreamingSession(
+            validate=True, device="nexus5", resolution="240p",
+            frame_rate=30, pressure="normal", duration_s=4.0, seed=5,
+        )
+        result = session.run()
+        return session, result
+
+    _, clean = run_session()
+
+    with installed_plan(
+        [Fault(point="checker:PageConservationChecker", kind="raise")],
+        tmp_path,
+    ):
+        session, result = run_session()
+    violations = session.harness.finalize()
+    crashes = [v for v in violations if "checker crashed" in str(v)]
+    assert len(crashes) == 1
+    assert "disabled" in str(crashes[0])
+    [disabled] = [c for c in session.harness.checkers if c.disabled]
+    assert type(disabled).__name__ == "PageConservationChecker"
+    assert result == clean  # containment never perturbs the trajectory
