@@ -7,7 +7,9 @@ metric regressed by more than the threshold (default 25%):
 * ``engine_ops_per_sec.run_loop`` — engine event throughput (higher is
   better);
 * ``end_to_end_session_pair_s`` — wall-clock of the canonical Nexus 5
-  session pair (lower is better).
+  session pair (lower is better);
+* ``population.fleet_devices_per_sec`` — §3 fleet-engine simulation
+  throughput in devices/second (higher is better).
 
 The generous threshold absorbs runner-to-runner hardware variance (the
 committed baselines come from whatever machine cut the PR); the gate
@@ -67,6 +69,11 @@ def _run_loop(results: Dict[str, Any]) -> Optional[float]:
     return float(entry) if entry is not None else None
 
 
+def _population(results: Dict[str, Any]) -> Optional[float]:
+    entry = results.get("population", {}).get("fleet_devices_per_sec")
+    return float(entry) if entry is not None else None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="benchmarks.perf.check_regression")
     parser.add_argument("--fresh", required=True,
@@ -112,6 +119,16 @@ def main(argv=None) -> int:
               f"{base_pair:.3f}s (ceiling {ceiling:.3f}s) -> {verdict}")
         if fresh_pair > ceiling:
             failures.append("end_to_end_session_pair_s")
+
+    base_pop = _population(baseline)
+    fresh_pop = _population(fresh)
+    if base_pop is not None and fresh_pop is not None:
+        floor = base_pop * (1.0 - threshold)
+        verdict = "ok" if fresh_pop >= floor else "REGRESSED"
+        print(f"fleet_devices_per_sec: {fresh_pop:,.0f} dev/s vs baseline "
+              f"{base_pop:,.0f} (floor {floor:,.0f}) -> {verdict}")
+        if fresh_pop < floor:
+            failures.append("fleet_devices_per_sec")
 
     if failures:
         print(f"perf gate FAILED ({', '.join(failures)}) against "

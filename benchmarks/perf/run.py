@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import json
 
-from . import bench_end_to_end, bench_engine, bench_sweep
+from . import bench_end_to_end, bench_engine, bench_population, bench_sweep
 from .harness import bench_path, write_bench
 
 
@@ -29,6 +29,11 @@ def main(argv=None) -> int:
                         help="microbenchmarks only")
     parser.add_argument("--skip-end-to-end", action="store_true",
                         help="skip the canonical session-pair macrobench")
+    parser.add_argument("--skip-population", action="store_true",
+                        help="skip the §3 fleet devices/sec benchmark")
+    parser.add_argument("--million", action="store_true",
+                        help="include the 1M-device fleet leg (records "
+                             "peak RSS; several minutes)")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<date>.json in cwd)")
     args = parser.parse_args(argv)
@@ -41,6 +46,10 @@ def main(argv=None) -> int:
         }
     if not args.skip_sweep:
         results["sweep"] = bench_sweep.run(jobs=args.jobs, quick=args.quick)
+    if not args.skip_population:
+        results["population"] = bench_population.run(
+            quick=args.quick, million=args.million
+        )
 
     path = write_bench(args.out or bench_path(), results)
     print(json.dumps(results, indent=2, sort_keys=True))

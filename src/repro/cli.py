@@ -35,6 +35,7 @@ from .experiments.parallel import (
     FabricReport,
     SessionSpec,
     SweepInterrupted,
+    resolve_jobs,
     run_sessions,
 )
 from .experiments.runner import cell_specs, run_cells
@@ -79,7 +80,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         abr=MemoryAwareAbr if args.memory_aware_abr else None,
     )
     result = run_sessions(
-        [spec], jobs=args.jobs, cache=False if args.no_cache else None
+        [spec], jobs=resolve_jobs(args.jobs),
+        cache=False if args.no_cache else None,
     )[0]
     payload = _session_payload(result)
     if args.json:
@@ -133,7 +135,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         cells = run_cells(
             cell_kwargs,
-            jobs=args.jobs,
+            jobs=resolve_jobs(args.jobs),
             cache=False if args.no_cache else None,
             journal=journal,
             report=report,
@@ -177,6 +179,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
+    if args.devices is not None:
+        return _cmd_study_fleet(args)
     devices = study_experiments.build_study(
         scale=args.scale, seed=args.seed, jobs=args.jobs
     )
@@ -192,6 +196,85 @@ def cmd_study(args: argparse.Namespace) -> int:
     for state, row in transitions.items():
         nexts = "  ".join(f"->{k}:{v:5.1f}%" for k, v in row["next"].items())
         print(f"  {state:9s} {nexts}")
+    return 0
+
+
+def _cmd_study_fleet(args: argparse.Namespace) -> int:
+    """``--devices N``: the vectorized cohort fleet engine.
+
+    Same §3 outputs as the legacy path (Table 1 summary + Figure 6
+    transitions), computed from streaming mergeable sketches — memory
+    stays O(cohorts), cohort shards checkpoint to a journal, and an
+    interrupted run resumes with ``--resume`` exactly like sweeps.
+    """
+    from pathlib import Path
+
+    from .study.fleet import (
+        FleetConfig,
+        default_fleet_journal_path,
+        fleet_journal,
+        run_fleet,
+    )
+
+    config = FleetConfig(
+        n_devices=args.devices,
+        hours_scale=args.scale,
+        seed=args.seed,
+        cohort_size=args.cohort_size,
+    )
+    journal = None
+    if not args.no_journal:
+        path = args.journal or default_fleet_journal_path(config)
+        journal = fleet_journal(path, resume=args.resume)
+    report = FabricReport()
+    try:
+        result = run_fleet(
+            config,
+            jobs=resolve_jobs(args.jobs),
+            journal=journal,
+            export_dir=Path(args.export) if args.export else None,
+            keep_logs=args.keep_logs,
+            report=report,
+        )
+    except SweepInterrupted as exc:
+        print(
+            f"study interrupted: {exc.completed}/{exc.total} cohorts "
+            "checkpointed",
+            file=sys.stderr,
+        )
+        if exc.journal_path is not None:
+            print(
+                "resume with the same command plus --resume "
+                f"(journal: {exc.journal_path})",
+                file=sys.stderr,
+            )
+        return 130
+    fleet = result.summary
+    summary = fleet.table1()
+    transitions = fleet.transitions()
+    if args.json:
+        payload = {
+            "devices": fleet.n_devices,
+            "devices_kept": fleet.n_kept,
+            "summary": summary,
+            "transitions": transitions,
+            "state_digest": fleet.state_digest(),
+            "fabric": report.summary(),
+        }
+        if result.export_paths:
+            payload["export"] = [str(p) for p in result.export_paths]
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"devices kept: {fleet.n_kept} (of {fleet.n_devices})")
+    for key, value in summary.items():
+        print(f"  {key:36s} {value:6.3f}")
+    for state, row in transitions.items():
+        nexts = "  ".join(f"->{k}:{v:5.1f}%" for k, v in row["next"].items())
+        print(f"  {state:9s} {nexts}")
+    if result.export_paths:
+        print(f"exported {len(result.export_paths)} cohort file(s) to "
+              f"{result.export_paths[0].parent}")
+    print(f"fabric: {report.summary()}")
     return 0
 
 
@@ -233,7 +316,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
     report = run_validation(
         level=args.level,
-        jobs=args.jobs,
+        jobs=resolve_jobs(args.jobs),
         update_golden=args.update_golden,
         cache=False if args.no_cache else None,
     )
@@ -311,6 +394,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--skip-sweep")
     if args.skip_end_to_end:
         argv.append("--skip-end-to-end")
+    if args.skip_population:
+        argv.append("--skip-population")
+    if args.million:
+        argv.append("--million")
     argv.extend(["--jobs", str(args.jobs)])
     if args.out:
         argv.extend(["--out", args.out])
@@ -378,6 +465,29 @@ def build_parser() -> argparse.ArgumentParser:
     study_p.add_argument("--jobs", type=int, default=1,
                          help="generate devices on N worker processes "
                               "(0 = all cores)")
+    study_p.add_argument("--devices", type=int, default=None,
+                         help="population size for the vectorized fleet "
+                              "engine (cohort batch kernel + mergeable "
+                              "sketches; omit for the legacy 80-user "
+                              "per-device path)")
+    study_p.add_argument("--cohort-size", type=int, default=0,
+                         help="devices per cohort shard (0 = auto-sized "
+                              "from the observation length)")
+    study_p.add_argument("--resume", action="store_true",
+                         help="resume an interrupted fleet run from its "
+                              "checkpoint journal")
+    study_p.add_argument("--journal", default=None,
+                         help="cohort checkpoint journal path (default: "
+                              "derived from the fleet config under the "
+                              "cache directory)")
+    study_p.add_argument("--no-journal", action="store_true",
+                         help="disable cohort checkpointing")
+    study_p.add_argument("--export", default=None, metavar="DIR",
+                         help="stream per-cohort columnar npz logs to DIR "
+                              "as shards complete (memory stays bounded)")
+    study_p.add_argument("--keep-logs", action="store_true",
+                         help="materialize per-device logs in RAM "
+                              "(small populations only)")
     study_p.add_argument("--json", action="store_true")
     study_p.set_defaults(func=cmd_study)
 
@@ -451,6 +561,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="microbenchmarks only")
     bench_p.add_argument("--skip-end-to-end", action="store_true",
                          help="skip the canonical session-pair macrobench")
+    bench_p.add_argument("--skip-population", action="store_true",
+                         help="skip the §3 fleet devices/sec benchmark")
+    bench_p.add_argument("--million", action="store_true",
+                         help="include the 1M-device fleet leg (records "
+                              "peak RSS; several minutes)")
     bench_p.add_argument("--out", default=None,
                          help="output path (default BENCH_<date>.json in cwd)")
     bench_p.set_defaults(func=cmd_bench)

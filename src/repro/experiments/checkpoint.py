@@ -33,7 +33,7 @@ import hashlib
 import json
 import pickle
 from pathlib import Path
-from typing import IO, Dict, Optional, Sequence
+from typing import IO, Any, Dict, Optional, Sequence
 
 from ..video.player import SessionResult
 from .parallel import SCHEMA_VERSION, SessionSpec, cache_key, default_cache_dir
@@ -72,9 +72,24 @@ class SweepJournal:
     is a cheap no-op that replays every record.
     """
 
-    def __init__(self, path: Path | str, resume: bool = True) -> None:
+    def __init__(
+        self,
+        path: Path | str,
+        resume: bool = True,
+        *,
+        magic: str = JOURNAL_MAGIC,
+        schema: int = SCHEMA_VERSION,
+        result_type: type = SessionResult,
+    ) -> None:
         self.path = Path(path)
         self.resume = resume
+        #: Journal family tag, schema stamp, and the record payload
+        #: type accepted on load.  Session sweeps use the defaults;
+        #: other job families (e.g. fleet cohort shards) pass their own
+        #: so a stale or foreign journal is discarded, not replayed.
+        self.magic = magic
+        self.schema = schema
+        self.result_type = result_type
         #: Records written by this process (not counting loaded ones).
         self.recorded = 0
         #: Corrupt or truncated lines skipped during :meth:`begin`.
@@ -82,7 +97,7 @@ class SweepJournal:
         self._fh: Optional[IO[str]] = None
 
     # ------------------------------------------------------------------
-    def begin(self) -> Dict[str, SessionResult]:
+    def begin(self) -> Dict[str, Any]:
         """Open the journal and return the resumable results.
 
         Returns ``{}`` when starting fresh, when no journal exists yet,
@@ -90,7 +105,7 @@ class SweepJournal:
         from a different schema version (a stale journal must not leak
         incomparable results into a new sweep).
         """
-        entries: Dict[str, SessionResult] = {}
+        entries: Dict[str, Any] = {}
         header_ok = False
         if self.resume:
             entries, header_ok = self._load()
@@ -100,15 +115,15 @@ class SweepJournal:
         else:
             self._fh = self.path.open("w", encoding="utf-8")
             header = {
-                "journal": JOURNAL_MAGIC,
+                "journal": self.magic,
                 "version": JOURNAL_VERSION,
-                "schema": SCHEMA_VERSION,
+                "schema": self.schema,
             }
             self._fh.write(json.dumps(header, separators=(",", ":")) + "\n")
             self._fh.flush()
         return entries
 
-    def record(self, key: str, result: SessionResult) -> None:
+    def record(self, key: str, result: Any) -> None:
         """Append one completed job (flushed immediately)."""
         if self._fh is None:
             self._fh = self.path.open("a", encoding="utf-8")
@@ -134,8 +149,8 @@ class SweepJournal:
             self.path.unlink()
 
     # ------------------------------------------------------------------
-    def _load(self) -> tuple[Dict[str, SessionResult], bool]:
-        entries: Dict[str, SessionResult] = {}
+    def _load(self) -> tuple[Dict[str, Any], bool]:
+        entries: Dict[str, Any] = {}
         try:
             text = self.path.read_text(encoding="utf-8")
         except OSError:
@@ -149,9 +164,9 @@ class SweepJournal:
             return entries, False
         if (
             not isinstance(header, dict)
-            or header.get("journal") != JOURNAL_MAGIC
+            or header.get("journal") != self.magic
             or header.get("version") != JOURNAL_VERSION
-            or header.get("schema") != SCHEMA_VERSION
+            or header.get("schema") != self.schema
         ):
             return entries, False
         for line in lines[1:]:
@@ -165,7 +180,7 @@ class SweepJournal:
                 # whole journal.
                 self.skipped += 1
                 continue
-            if isinstance(key, str) and isinstance(result, SessionResult):
+            if isinstance(key, str) and isinstance(result, self.result_type):
                 entries[key] = result
             else:
                 self.skipped += 1

@@ -458,46 +458,63 @@ class _Heartbeat:
             self.path.write_text(f"{self.seq}:{state}")
 
 
-def run_spec_chunk(
-    specs: Sequence[SessionSpec], hb_dir: Optional[str] = None
-) -> List[SessionResult]:
-    """Execute a chunk of session jobs in order (worker entry point).
+#: A job runner: any picklable module-level callable taking one payload.
+JobRunner = Callable[[Any], Any]
+
+
+def _run_chunk(
+    payloads: Sequence[Any],
+    runner: JobRunner,
+    hb_dir: Optional[str] = None,
+) -> List[Any]:
+    """Execute a chunk of jobs in order (worker entry point).
 
     Chunking amortizes process-pool overhead: one pickle round-trip
-    (task submit + result return) covers ``len(specs)`` sessions
-    instead of one.  Each job is still fully determined by its spec, so
-    the chunk's results are the concatenation of what ``run_spec``
-    would return job by job.  ``hb_dir`` names the heartbeat directory
-    the supervisor watches for hang detection.
+    (task submit + result return) covers ``len(payloads)`` jobs instead
+    of one.  Each job is fully determined by its payload, so the
+    chunk's results are the concatenation of what ``runner`` would
+    return job by job.  ``hb_dir`` names the heartbeat directory the
+    supervisor watches for hang detection.
     """
     beat = _Heartbeat(hb_dir)
-    results: List[SessionResult] = []
-    for spec in specs:
+    results: List[Any] = []
+    for payload in payloads:
         beat.working()
-        results.append(run_spec(spec))
+        results.append(runner(payload))
     beat.idle()
     return results
 
 
+def run_spec_chunk(
+    specs: Sequence[SessionSpec], hb_dir: Optional[str] = None
+) -> List[SessionResult]:
+    """Execute a chunk of session jobs in order (worker entry point)."""
+    return list(_run_chunk(specs, run_spec, hb_dir))
+
+
 def _run_with_retries(
-    spec: SessionSpec, policy: RetryPolicy, report: FabricReport
-) -> SessionResult:
+    payload: Any,
+    runner: JobRunner,
+    seed: int,
+    policy: RetryPolicy,
+    report: FabricReport,
+) -> Any:
     """Run one job in-process with bounded, deterministic-jitter retries."""
     attempts = max(1, policy.max_attempts)
     for attempt in range(attempts):
         try:
-            return run_spec(spec)
+            return runner(payload)
         except KeyboardInterrupt:
             raise
         except Exception as exc:
             report.failures += 1
             if attempt + 1 >= attempts:
                 raise JobFailedError(
-                    f"session job (seed {spec.seed}) still failing after "
+                    f"session job (seed {seed}) still failing after "
                     f"{attempts} attempts: {exc!r}"
                 ) from exc
             report.retries += 1
-            time.sleep(policy.backoff_s(spec.seed, attempt))
+            time.sleep(policy.backoff_s(seed, attempt))
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -537,14 +554,15 @@ def _read_heartbeat(entry: Path) -> Optional[Tuple[float, str]]:
 
 
 def _one_pool_pass(
-    specs: Sequence[SessionSpec],
+    payloads: Sequence[Any],
+    runner: JobRunner,
     queue: Sequence[int],
     n_workers: int,
     policy: RetryPolicy,
     report: FabricReport,
-    complete: Callable[[int, SessionResult], None],
+    complete: Callable[[int, Any], None],
 ) -> Tuple[List[int], List[int]]:
-    """Run ``queue`` (spec indices) on one process pool.
+    """Run ``queue`` (payload indices) on one process pool.
 
     Returns ``(failed, lost)``: indices whose chunk raised an ordinary
     exception (poisoned jobs — re-run them serially), and indices lost
@@ -568,11 +586,11 @@ def _one_pool_pass(
     lost: List[int] = []
     abandoned = False
     pool = ProcessPoolExecutor(max_workers=n_workers)
-    pending: Dict[Future[List[SessionResult]], List[int]] = {}
+    pending: Dict[Future[List[Any]], List[int]] = {}
     try:
         for chunk in chunks:
             pending[pool.submit(
-                run_spec_chunk, [specs[i] for i in chunk], str(hb_dir)
+                _run_chunk, [payloads[i] for i in chunk], runner, str(hb_dir)
             )] = chunk
         last_progress = time.time()
         while pending:
@@ -629,25 +647,29 @@ def _one_pool_pass(
 
 
 def _run_pool(
-    specs: Sequence[SessionSpec],
+    payloads: Sequence[Any],
+    runner: JobRunner,
+    seeds: Sequence[int],
     fan_out: Sequence[int],
     n_workers: int,
     policy: RetryPolicy,
     report: FabricReport,
-    complete: Callable[[int, SessionResult], None],
+    complete: Callable[[int, Any], None],
 ) -> None:
     """Supervise pool execution of ``fan_out`` with graceful degradation."""
     queue = list(fan_out)
     restarts_left = max(0, policy.pool_restarts)
     while True:
         failed, lost = _one_pool_pass(
-            specs, queue, n_workers, policy, report, complete
+            payloads, runner, queue, n_workers, policy, report, complete
         )
         # Poisoned chunks: re-run their jobs serially in-process, with
         # bounded retries, so one bad job cannot take the sweep down.
         for index in failed:
             report.serial_fallback += 1
-            complete(index, _run_with_retries(specs[index], policy, report))
+            complete(index, _run_with_retries(
+                payloads[index], runner, seeds[index], policy, report
+            ))
         if not lost:
             return
         if restarts_left > 0:
@@ -669,7 +691,9 @@ def _run_pool(
         )
         for index in sorted(lost):
             report.serial_fallback += 1
-            complete(index, _run_with_retries(specs[index], policy, report))
+            complete(index, _run_with_retries(
+                payloads[index], runner, seeds[index], policy, report
+            ))
         return
 
 
@@ -733,21 +757,27 @@ def run_sessions(
                 continue
         fan_out.append(index)
 
+    seeds = [spec.seed for spec in specs]
     try:
         n_workers = effective_jobs(jobs, len(fan_out))
         if fan_out:
             if n_workers <= 1:
                 for index in fan_out:
-                    complete(
-                        index, _run_with_retries(specs[index], policy, stats)
-                    )
+                    complete(index, _run_with_retries(
+                        specs[index], run_spec, seeds[index], policy, stats
+                    ))
             else:
-                _run_pool(specs, fan_out, n_workers, policy, stats, complete)
+                _run_pool(
+                    specs, run_spec, seeds, fan_out, n_workers, policy,
+                    stats, complete,
+                )
         # Shared-instance ABR jobs: run in submission order, in-process,
         # so their cross-repetition state evolves exactly as a serial
         # run's.
         for index in in_process:
-            complete(index, _run_with_retries(specs[index], policy, stats))
+            complete(index, _run_with_retries(
+                specs[index], run_spec, seeds[index], policy, stats
+            ))
     except KeyboardInterrupt:
         stats.interrupted = True
         journal_path: Optional[Path] = None
@@ -767,3 +797,110 @@ def run_sessions(
     if store is not None:
         stats.quarantined += store.quarantined - quarantined_before
     return results  # type: ignore[return-value]
+
+
+def run_jobs(
+    payloads: Sequence[Any],
+    runner: JobRunner,
+    *,
+    keys: Optional[Sequence[Optional[str]]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
+    journal: Optional["SweepJournal"] = None,
+    policy: Optional[RetryPolicy] = None,
+    report: Optional[FabricReport] = None,
+) -> List[Any]:
+    """Run arbitrary jobs on the session fabric (generic entry point).
+
+    The same supervision machinery as :func:`run_sessions` — chunked
+    dispatch, heartbeat hang detection, deterministic-backoff retries,
+    pool restart then serial degradation, checkpoint journaling, Ctrl-C
+    drain — applied to any picklable ``runner(payload)`` pairs (e.g.
+    cohort shards of the fleet population engine).
+
+    ``keys`` are per-job journal keys (``None`` disables journaling for
+    that job); ``seeds`` feed the deterministic retry backoff (defaults
+    to the payload index).  Results return in submission order.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    stats = report if report is not None else FabricReport()
+    job_keys: Sequence[Optional[str]] = (
+        keys if keys is not None else [None] * len(payloads)
+    )
+    job_seeds: Sequence[int] = (
+        seeds if seeds is not None else list(range(len(payloads)))
+    )
+    if len(job_keys) != len(payloads) or len(job_seeds) != len(payloads):
+        raise ValueError("keys/seeds must match payloads in length")
+    results: List[Any] = [None] * len(payloads)
+    done: List[bool] = [False] * len(payloads)
+    journal_map = journal.begin() if journal is not None else {}
+    fan_out: List[int] = []
+
+    def complete(index: int, result: Any) -> None:
+        results[index] = result
+        done[index] = True
+        stats.computed += 1
+        key = job_keys[index]
+        if key is not None and journal is not None:
+            journal.record(key, result)
+
+    for index in range(len(payloads)):
+        key = job_keys[index]
+        if key is not None:
+            resumed = journal_map.get(key)
+            if resumed is not None:
+                results[index] = resumed
+                done[index] = True
+                stats.resumed += 1
+                continue
+        fan_out.append(index)
+
+    try:
+        n_workers = effective_jobs(jobs, len(fan_out))
+        if fan_out:
+            if n_workers <= 1:
+                for index in fan_out:
+                    complete(index, _run_with_retries(
+                        payloads[index], runner, job_seeds[index],
+                        policy, stats,
+                    ))
+            else:
+                _run_pool(
+                    payloads, runner, job_seeds, fan_out, n_workers,
+                    policy, stats, complete,
+                )
+    except KeyboardInterrupt:
+        stats.interrupted = True
+        journal_path: Optional[Path] = None
+        if journal is not None:
+            journal_path = journal.path
+            journal.close()
+        raise SweepInterrupted(
+            completed=sum(1 for d in done if d),
+            total=len(payloads),
+            journal_path=journal_path,
+        ) from None
+
+    if journal is not None:
+        journal.close()
+    return results
+
+
+def resolve_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Clamp a user-requested worker count to usable cores (CLI layer).
+
+    ``0``/negative means all cores; an explicit request is capped at
+    the affinity-mask core count, so ``--jobs 4`` on a single-core
+    container runs in-process instead of paying worker pickle
+    round-trips for nothing (BENCH 2026-08-06.2 measured a 0.96x
+    "speedup" from a pool on one core).  Library callers that really
+    want a pool regardless (e.g. the chaos harness exercising pool
+    faults) pass their ``jobs`` straight through instead.
+    """
+    if jobs is None:
+        return None
+    cores = _available_cores()
+    if jobs <= 0:
+        return cores
+    return min(jobs, cores)

@@ -8,18 +8,30 @@ and round-trips back into :class:`DeviceLog` for the analysis pipeline.
 
 Samples are stored at a configurable stride (default every sample) so
 full populations stay shareable; signals are always stored exactly.
+
+The fleet population engine adds a second, columnar format: one
+``cohort-<index>.npz`` file per cohort shard (see
+:func:`save_cohort_columns`), written by the cohort worker the moment
+the shard finishes — population memory stays O(cohorts) regardless of
+fleet size, and a million-device run streams its per-second logs to
+disk instead of holding ~10^11 samples in RAM.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import List, Union
+from typing import TYPE_CHECKING, Iterator, List, Union
 
 import numpy as np
 
 from .signalcapturer import DeviceInfo, DeviceLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cohort import CohortColumns
 
 FORMAT_VERSION = 1
 
@@ -124,3 +136,94 @@ def load_population(directory: Union[str, Path]) -> List[DeviceLog]:
         load_device_log(path)
         for path in sorted(directory.glob("*.jsonl.gz"))
     ]
+
+
+# ======================================================================
+# Columnar cohort export (fleet population engine)
+# ======================================================================
+
+#: npz format stamp; a mismatch on load is an error, not a guess.
+COHORT_FORMAT_VERSION = 1
+
+_COLUMN_FIELDS = (
+    "device_index",
+    "total_mb",
+    "manufacturer_idx",
+    "android_idx",
+    "cores_idx",
+    "n",
+    "offsets",
+    "available_mb",
+    "state",
+    "interactive",
+    "n_services",
+    "sig_offsets",
+    "sig_times",
+    "sig_codes",
+)
+
+
+def save_cohort_columns(
+    columns: "CohortColumns", path: Union[str, Path]
+) -> Path:
+    """Write one cohort's columns as compressed npz (atomic).
+
+    The layout mirrors :class:`~repro.study.cohort.CohortColumns`
+    exactly (struct-of-arrays, flat per-device prefixes addressed by
+    ``offsets``) plus a format stamp.  The file is staged in the
+    destination directory and moved into place with ``os.replace``, so
+    a killed worker never leaves a half-written cohort file for
+    ``--resume`` to trip over.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: getattr(columns, name) for name in _COLUMN_FIELDS}
+    arrays["format"] = np.array([COHORT_FORMAT_VERSION], dtype=np.int64)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_cohort_columns(path: Union[str, Path]) -> "CohortColumns":
+    """Read one cohort npz back into
+    :class:`~repro.study.cohort.CohortColumns`."""
+    from .cohort import CohortColumns
+
+    with np.load(Path(path)) as data:
+        fmt = int(data["format"][0]) if "format" in data else -1
+        if fmt != COHORT_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: cohort export format {fmt}, "
+                f"expected {COHORT_FORMAT_VERSION}"
+            )
+        return CohortColumns(
+            **{name: data[name] for name in _COLUMN_FIELDS}
+        )
+
+
+def exported_cohort_paths(export_dir: Union[str, Path]) -> List[Path]:
+    """The cohort files of an export directory, in cohort order."""
+    return sorted(Path(export_dir).glob("cohort-*.npz"))
+
+
+def iter_exported_logs(export_dir: Union[str, Path]) -> Iterator[DeviceLog]:
+    """Stream ``DeviceLog`` objects from an export directory.
+
+    Materializes one cohort at a time, so peak memory stays at one
+    cohort's worth of per-second arrays no matter the fleet size.
+    """
+    from .cohort import columns_to_logs
+
+    for path in exported_cohort_paths(export_dir):
+        yield from columns_to_logs(load_cohort_columns(path))

@@ -25,9 +25,8 @@ from these logs the same way the paper's notebooks computed theirs.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -248,30 +247,52 @@ def _generate_log_job(args: tuple) -> DeviceLog:
 def generate_population(
     config: Optional[PopulationConfig] = None,
     jobs: Optional[int] = None,
+    sink: Optional[Callable[[DeviceLog], None]] = None,
 ) -> List[DeviceLog]:
     """Generate the full user-study population.
 
     ``jobs`` fans device generation out over worker processes (None/1 =
     serial, 0 = all cores); results return in device order either way,
-    and parallel output is identical to serial output.
+    and parallel output is identical to serial output.  Requested
+    workers are clamped to usable cores and a pool is only built when
+    more than one worker would actually run — on a single-core
+    container a pool is pure pickle overhead (BENCH 2026-08-06.2
+    measured 0.96x "speedup").
+
+    ``sink`` streams each finished log out (e.g. straight to
+    :func:`repro.study.export.save_device_log`) instead of accumulating
+    them, so memory stays O(1 device) and the return value is an empty
+    list.  Without a sink the full list is kept — the escape hatch for
+    small populations (the fleet engine in :mod:`repro.study.fleet`
+    streams cohort shards the same way at population scale).
     """
     config = config or PopulationConfig()
-    if jobs is None or jobs == 1 or config.n_users <= 1:
+    workers = 1
+    if jobs is not None and config.n_users > 1:
+        from ..experiments.parallel import resolve_jobs
+
+        resolved = resolve_jobs(jobs)
+        workers = max(1, min(resolved if resolved else 1, config.n_users))
+    if workers == 1:
         randoms = RandomStreams(config.seed)
-        return [
-            generate_device_log(i, config, randoms)
-            for i in range(config.n_users)
-        ]
+        kept: List[DeviceLog] = []
+        for i in range(config.n_users):
+            log = generate_device_log(i, config, randoms)
+            if sink is not None:
+                sink(log)
+            else:
+                kept.append(log)
+        return kept
     from concurrent.futures import ProcessPoolExecutor
 
-    if jobs <= 0:
-        jobs = os.cpu_count() or 1
-    workers = max(1, min(jobs, config.n_users))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(
-            pool.map(
-                _generate_log_job,
-                [(i, config) for i in range(config.n_users)],
-                chunksize=max(1, config.n_users // (workers * 4)),
-            )
+        logs = pool.map(
+            _generate_log_job,
+            [(i, config) for i in range(config.n_users)],
+            chunksize=max(1, config.n_users // (workers * 4)),
         )
+        if sink is None:
+            return list(logs)
+        for log in logs:
+            sink(log)
+        return []

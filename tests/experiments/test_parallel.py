@@ -257,3 +257,60 @@ def test_cli_no_cache_leaves_no_trace(cache_env, capsys):
     out = capsys.readouterr().out
     assert '"drop_rate"' in out
     assert not cache_env.exists() or not list(cache_env.rglob("*.pkl"))
+
+
+# ----------------------------------------------------------------------
+# Generic job fabric (run_jobs / resolve_jobs)
+# ----------------------------------------------------------------------
+
+def _square(payload):
+    return payload * payload
+
+
+def test_run_jobs_serial_returns_in_order():
+    results = parallel.run_jobs([1, 2, 3, 4], _square)
+    assert results == [1, 4, 9, 16]
+
+
+def test_run_jobs_pool_matches_serial():
+    payloads = list(range(8))
+    serial = parallel.run_jobs(payloads, _square)
+    pooled = parallel.run_jobs(payloads, _square, jobs=2)
+    assert pooled == serial
+
+
+def test_run_jobs_journals_and_resumes(tmp_path):
+    from repro.experiments.checkpoint import SweepJournal
+
+    payloads = [3, 5, 7]
+    keys = [f"job{p}" for p in payloads]
+    path = tmp_path / "jobs.journal"
+    report = parallel.FabricReport()
+    first = parallel.run_jobs(
+        payloads, _square, keys=keys,
+        journal=SweepJournal(path, result_type=int), report=report,
+    )
+    assert first == [9, 25, 49]
+    assert report.computed == 3
+    resumed = parallel.FabricReport()
+    second = parallel.run_jobs(
+        payloads, _square, keys=keys,
+        journal=SweepJournal(path, result_type=int), report=resumed,
+    )
+    assert second == first
+    assert resumed.computed == 0
+    assert resumed.resumed == 3
+
+
+def test_run_jobs_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        parallel.run_jobs([1, 2], _square, keys=["only-one"])
+
+
+def test_resolve_jobs_clamps_to_cores():
+    cores = parallel._available_cores()
+    assert parallel.resolve_jobs(None) is None
+    assert parallel.resolve_jobs(0) == cores
+    assert parallel.resolve_jobs(-1) == cores
+    assert parallel.resolve_jobs(1) == 1
+    assert parallel.resolve_jobs(cores + 7) == cores

@@ -1,0 +1,257 @@
+"""Fleet orchestration: shard invariance, resume, export, CLI.
+
+The headline guarantee: the merged §3 summary is bit-identical for any
+shard grouping (cohort partition fixed, any worker count, any merge
+order) and matches the v1 analysis pipeline applied to the per-device
+reference oracle exactly — same floats, not approximately.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.study import analysis
+from repro.study.cohort import (
+    FleetConfig,
+    FleetSummary,
+    n_cohorts,
+    reference_fleet_logs,
+    simulate_cohort,
+)
+from repro.study.export import (
+    exported_cohort_paths,
+    iter_exported_logs,
+    load_cohort_columns,
+    save_cohort_columns,
+)
+from repro.study.fleet import (
+    CohortJob,
+    cohort_job_key,
+    default_fleet_journal_path,
+    fleet_journal,
+    run_fleet,
+)
+
+CFG = FleetConfig(n_devices=12, hours_scale=0.02, seed=7, cohort_size=5)
+
+
+@functools.lru_cache(maxsize=None)
+def _reference_logs():
+    return tuple(reference_fleet_logs(CFG))
+
+
+def _cleaned():
+    threshold = 10.0 * CFG.hours_scale
+    return analysis.clean(
+        list(_reference_logs()), min_interactive_hours=threshold
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard invariance
+# ----------------------------------------------------------------------
+
+def test_summary_bit_identical_across_worker_counts():
+    summaries = [run_fleet(CFG, jobs=j).summary for j in (None, 1, 4, 16)]
+    digests = {s.state_digest() for s in summaries}
+    assert len(digests) == 1
+    for s in summaries[1:]:
+        assert s == summaries[0]
+
+
+def test_summary_bit_identical_across_merge_groupings():
+    results = [
+        simulate_cohort(c, CFG).summary for c in range(n_cohorts(CFG))
+    ]
+    left = FleetSummary()
+    for s in results:
+        left = left.merge(s)
+    right = results[0]
+    rest = results[1]
+    for s in results[2:]:
+        rest = rest.merge(s)
+    right = right.merge(rest)
+    reverse = FleetSummary()
+    for s in reversed(results):
+        reverse = reverse.merge(s)
+    assert left == right
+    assert left.state_digest() == right.state_digest()
+    # Counters/digests are order-invariant; candidate ordering is
+    # canonical, so even a reversed merge matches.
+    assert left == reverse
+
+
+# ----------------------------------------------------------------------
+# Exactness vs the v1 analysis pipeline
+# ----------------------------------------------------------------------
+
+def test_table1_matches_v1_analysis_exactly():
+    fleet = run_fleet(CFG).summary
+    assert fleet.table1() == analysis.study_summary(_cleaned())
+
+
+def test_transitions_match_v1_analysis_exactly():
+    fleet = run_fleet(CFG).summary
+    assert fleet.transitions() == analysis.transition_stats(_cleaned())
+
+
+def test_keep_logs_bitwise_equal_reference():
+    result = run_fleet(CFG, keep_logs=True)
+    assert result.logs is not None
+    reference = _reference_logs()
+    assert len(result.logs) == len(reference)
+    for got, want in zip(result.logs, reference):
+        assert got.info == want.info
+        assert np.array_equal(got.available_mb, want.available_mb)
+        assert np.array_equal(got.state, want.state)
+        assert np.array_equal(got.interactive, want.interactive)
+        assert got.signals == want.signals
+
+
+# ----------------------------------------------------------------------
+# Journal resume
+# ----------------------------------------------------------------------
+
+def test_journal_resume_replays_without_recompute(tmp_path):
+    path = tmp_path / "fleet.journal"
+    first = run_fleet(CFG, journal=fleet_journal(path))
+    assert first.report.computed == n_cohorts(CFG)
+    second = run_fleet(CFG, journal=fleet_journal(path))
+    assert second.report.computed == 0
+    assert second.report.resumed == n_cohorts(CFG)
+    assert second.summary == first.summary
+    assert second.summary.state_digest() == first.summary.state_digest()
+
+
+def test_journal_keys_differ_per_cohort_and_config():
+    a = cohort_job_key(CohortJob(0, CFG))
+    b = cohort_job_key(CohortJob(1, CFG))
+    c = cohort_job_key(CohortJob(0, FleetConfig(n_devices=12, seed=8)))
+    assert len({a, b, c}) == 3
+
+
+def test_foreign_journal_is_discarded(tmp_path):
+    # A sweep-format journal at the same path must not replay into a
+    # fleet run (different magic -> discarded wholesale).
+    from repro.experiments.checkpoint import SweepJournal
+
+    path = tmp_path / "fleet.journal"
+    sweep = SweepJournal(path, resume=False)
+    sweep.begin()
+    sweep.close()
+    result = run_fleet(CFG, journal=fleet_journal(path))
+    assert result.report.computed == n_cohorts(CFG)
+    assert result.report.resumed == 0
+
+
+def test_default_journal_path_is_config_addressed(tmp_path):
+    a = default_fleet_journal_path(CFG, root=tmp_path)
+    b = default_fleet_journal_path(
+        FleetConfig(n_devices=12, hours_scale=0.02, seed=8, cohort_size=5),
+        root=tmp_path,
+    )
+    assert a != b
+    assert a.parent == tmp_path / "journals"
+
+
+# ----------------------------------------------------------------------
+# Columnar export
+# ----------------------------------------------------------------------
+
+def test_export_streams_cohorts_and_roundtrips(tmp_path):
+    export_dir = tmp_path / "pop"
+    result = run_fleet(CFG, export_dir=export_dir)
+    paths = exported_cohort_paths(export_dir)
+    assert len(paths) == n_cohorts(CFG)
+    assert result.export_paths == paths
+    loaded = list(iter_exported_logs(export_dir))
+    reference = _reference_logs()
+    assert len(loaded) == len(reference)
+    for got, want in zip(loaded, reference):
+        assert got.info == want.info
+        assert np.array_equal(got.available_mb, want.available_mb)
+        assert np.array_equal(got.state, want.state)
+        assert np.array_equal(got.n_services, want.n_services)
+        assert got.signals == want.signals
+
+
+def test_export_format_version_checked(tmp_path):
+    export_dir = tmp_path / "pop"
+    run_fleet(CFG, export_dir=export_dir)
+    path = exported_cohort_paths(export_dir)[0]
+    columns = load_cohort_columns(path)
+    import repro.study.export as export_mod
+
+    original = export_mod.COHORT_FORMAT_VERSION
+    try:
+        export_mod.COHORT_FORMAT_VERSION = original + 1
+        with pytest.raises(ValueError, match="format"):
+            load_cohort_columns(path)
+    finally:
+        export_mod.COHORT_FORMAT_VERSION = original
+    save_cohort_columns(columns, tmp_path / "again.npz")
+    reread = load_cohort_columns(tmp_path / "again.npz")
+    assert np.array_equal(reread.available_mb, columns.available_mb)
+
+
+def test_export_leaves_no_tmp_files(tmp_path):
+    export_dir = tmp_path / "pop"
+    run_fleet(CFG, export_dir=export_dir)
+    assert not list(export_dir.glob("*.tmp"))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_study_devices_flag(tmp_path, capsys):
+    journal = tmp_path / "cli.journal"
+    code = main([
+        "study", "--devices", "12", "--scale", "0.02", "--seed", "7",
+        "--cohort-size", "5", "--journal", str(journal), "--json",
+    ])
+    assert code == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["devices"] == 12
+    expected = run_fleet(CFG).summary
+    assert payload["summary"] == expected.table1()
+    assert payload["state_digest"] == expected.state_digest()
+    assert journal.exists()
+
+
+def test_cli_study_resume_uses_journal(tmp_path, capsys):
+    journal = tmp_path / "cli.journal"
+    args = [
+        "study", "--devices", "12", "--scale", "0.02", "--seed", "7",
+        "--cohort-size", "5", "--journal", str(journal), "--json",
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    import json
+
+    a, b = json.loads(first), json.loads(second)
+    assert a["state_digest"] == b["state_digest"]
+    assert "resumed 3" in b["fabric"]
+
+
+def test_cli_study_export(tmp_path, capsys):
+    export_dir = tmp_path / "pop"
+    code = main([
+        "study", "--devices", "12", "--scale", "0.02", "--seed", "7",
+        "--cohort-size", "5", "--no-journal",
+        "--export", str(export_dir),
+    ])
+    assert code == 0
+    assert len(exported_cohort_paths(export_dir)) == n_cohorts(CFG)
+
+
+def test_cli_study_legacy_path_unchanged(capsys):
+    assert main(["study", "--scale", "0.02", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "devices kept:" in out
