@@ -10,12 +10,24 @@ a clean validation run.
 ========  ==========================================================
 REP109    bare ``except:`` or a handler that silently swallows the
           exception (body is only ``pass``/``...``/``continue``)
+REP110    ad-hoc ABR controller instantiation in ``experiments/``
+          (bypasses the arena policy registry)
 ========  ==========================================================
 
 Deliberate suppression is still expressible — and greppable as policy:
 ``contextlib.suppress(SomeError)`` names what is being ignored, a
 handler that counts/logs/reports before continuing has a non-empty
 body, and a true exemption carries ``# repro: noqa[REP109]``.
+
+REP110 guards a different invariant of the same flavour: the arena
+leaderboard is only comparable because every entrant is constructed
+through :func:`repro.arena.policies.build_policy`, whose registry
+fingerprint is folded into each job's content address.  An experiment
+that calls ``MemoryAwareAbr()`` directly produces sessions whose policy
+identity is invisible to the cache, the journal, and the artifact.
+Passing the *class* (a factory) into a spec is fine — only call sites
+are flagged — and a deliberate exception carries
+``# repro: noqa[REP110]``.
 """
 
 from __future__ import annotations
@@ -85,4 +97,57 @@ class SwallowedExceptionRule(Rule):
         return empty
 
 
-ROBUSTNESS_RULES: Tuple[type, ...] = (SwallowedExceptionRule,)
+#: Controller classes shipped by :mod:`repro.core.abr`.  Instantiating
+#: one of these by name inside ``experiments/`` sidesteps the arena
+#: registry; go through ``repro.arena.policies.build_policy`` instead.
+ABR_CONTROLLER_NAMES: FrozenSet[str] = frozenset({
+    "FixedAbr",
+    "RateBasedAbr",
+    "BufferBasedAbr",
+    "BolaAbr",
+    "HybridAbr",
+    "MemoryAwareAbr",
+})
+
+
+class AdHocPolicyRule(Rule):
+    """REP110: ABR controllers constructed outside the policy registry."""
+
+    id = "REP110"
+    title = "ad-hoc ABR policy instantiation"
+    rationale = (
+        "Arena results are content-addressed by policy name + registry "
+        "revision; a controller instantiated directly in an experiment "
+        "has no such identity, so its sessions cannot be cached, "
+        "resumed, or compared on the leaderboard.  Build controllers "
+        "with repro.arena.policies.build_policy('<name>') (or pass the "
+        "class as a factory into a SessionSpec, which is not a call)."
+    )
+    scope = frozenset({"experiments"})
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._callee_name(node.func)
+            if name in ABR_CONTROLLER_NAMES:
+                yield self.finding(
+                    src, node,
+                    f"`{name}(...)` constructs an ABR controller ad hoc "
+                    "— use repro.arena.policies.build_policy so the "
+                    "policy's registry identity reaches the cache and "
+                    "the leaderboard",
+                )
+
+    @staticmethod
+    def _callee_name(func: ast.expr) -> str:
+        """The called name: ``Foo()`` and ``module.Foo()`` both -> Foo."""
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return ""
+
+
+ROBUSTNESS_RULES: Tuple[type, ...] = (SwallowedExceptionRule, AdHocPolicyRule)

@@ -1,0 +1,138 @@
+"""The pluggable ABR policy registry.
+
+An arena entrant is a :class:`PolicyEntry`: a stable name, the policy
+family it represents, and a module-level factory that builds a **fresh**
+:class:`~repro.core.abr.AbrController` for each session (controllers
+carry per-session state; sharing one across repetitions would leak
+state between cells, which is why the factory — not an instance — is
+the registered object, and why the factory must be picklable into
+worker processes).
+
+Policies are looked up *by name* everywhere downstream — arena jobs
+carry the name, the leaderboard keys on it, and the job content address
+folds in the entry's ``revision`` so a behavioral change to a policy
+deliberately invalidates its cached records.  Experiments must go
+through :func:`build_policy` rather than instantiating controller
+classes ad hoc; ``repro lint`` rule REP110 enforces this.
+
+The four shipped entrants cover the four families ROADMAP item 1 names:
+
+``buffer``
+    BBA-style occupancy mapping (network bottleneck, buffer signal).
+``rate``
+    throughput-rule (network bottleneck, rate signal).
+``pressure``
+    the paper's §6 OnTrimMemory-driven controller
+    (:class:`~repro.core.abr.MemoryAwareAbr`), unchanged — the arena's
+    differential oracle holds this entrant bit-for-bit equal to the
+    legacy ``memory_aware_comparison`` experiment.
+``hybrid``
+    context-aware decode-resolution adaptation with recovery
+    hysteresis (:class:`~repro.core.abr.HybridAbr`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..core.abr import (
+    AbrController,
+    BufferBasedAbr,
+    HybridAbr,
+    MemoryAwareAbr,
+    RateBasedAbr,
+)
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered arena entrant."""
+
+    name: str
+    family: str
+    description: str
+    factory: Callable[[], AbrController]
+    #: Bumped whenever the factory's behavior changes; folded into the
+    #: arena job content address so stale cached records stop matching.
+    revision: int = 1
+
+    def build(self) -> AbrController:
+        """A fresh controller for one session."""
+        return self.factory()
+
+    @property
+    def fingerprint(self) -> str:
+        """The identity folded into arena job content addresses."""
+        return f"{self.name}@{self.revision}"
+
+
+_REGISTRY: Dict[str, PolicyEntry] = {}
+
+
+def register_policy(entry: PolicyEntry) -> PolicyEntry:
+    """Register an entrant (idempotent re-registration is an error:
+    a silently replaced policy would invalidate leaderboards)."""
+    if entry.name in _REGISTRY:
+        raise ValueError(f"policy {entry.name!r} already registered")
+    if not callable(entry.factory):
+        raise TypeError(f"policy {entry.name!r} factory is not callable")
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def get_policy(name: str) -> PolicyEntry:
+    """The registered entry for ``name`` (KeyError names the options)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown arena policy {name!r}; registered: {policy_names()}"
+        ) from None
+
+
+def build_policy(name: str) -> AbrController:
+    """A fresh controller for the named policy (the sanctioned way to
+    instantiate a policy controller outside this module — REP110)."""
+    return get_policy(name).build()
+
+
+def policy_names() -> List[str]:
+    """Registered policy names, in registration order."""
+    return list(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# The shipped entrants.  Factories are module-level callables (classes
+# or functions), so arena jobs stay picklable into worker processes.
+# ----------------------------------------------------------------------
+register_policy(PolicyEntry(
+    name="buffer",
+    family="network/buffer",
+    description="BBA-style linear map from buffer occupancy to the ladder",
+    factory=BufferBasedAbr,
+))
+
+register_policy(PolicyEntry(
+    name="rate",
+    family="network/rate",
+    description="highest rung within a safety factor of estimated throughput",
+    factory=RateBasedAbr,
+))
+
+register_policy(PolicyEntry(
+    name="pressure",
+    family="memory/signal",
+    description="the paper's §6 OnTrimMemory-driven frame-rate/resolution caps",
+    factory=MemoryAwareAbr,
+))
+
+register_policy(PolicyEntry(
+    name="hybrid",
+    family="memory/context",
+    description=(
+        "buffer-based network proposal + decode-resolution adaptation "
+        "on Moderate/Low/Critical with recovery hysteresis"
+    ),
+    factory=HybridAbr,
+))

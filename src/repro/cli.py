@@ -9,6 +9,7 @@ The subcommands mirror the library's main entry points::
     repro validate --level deep
     repro lint     src/repro --json
     repro chaos    --scenarios kill,interrupt
+    repro arena    --policies buffer,pressure,hybrid --jobs 4
 
 Every subcommand prints a human-readable report by default; ``--json``
 emits machine-readable output instead (for notebooks and dashboards).
@@ -16,7 +17,9 @@ emits machine-readable output instead (for notebooks and dashboards).
 ``repro sweep`` checkpoints every completed job to a journal (under the
 cache directory by default): an interrupted sweep exits with status 130
 and a hint, and ``--resume`` continues it bit-identically without
-re-running completed jobs (see ``docs/robustness.md``).
+re-running completed jobs (see ``docs/robustness.md``).  ``repro
+arena`` rides the same fabric for the ABR policy competition and emits
+a content-addressed leaderboard artifact (see ``docs/arena.md``).
 """
 
 from __future__ import annotations
@@ -375,6 +378,85 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all_passed else 1
 
 
+def cmd_arena(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .arena import (
+        ArenaConfig,
+        arena_jobs,
+        default_arena_cache_dir,
+        make_arena_journal,
+        render_table,
+        run_arena,
+        write_artifact,
+    )
+    from .arena.driver import ArenaRecord
+    from .experiments.parallel import CACHE_DISABLE_ENV, ResultCache
+    import os
+
+    config = ArenaConfig(
+        policies=tuple(
+            name.strip() for name in args.policies.split(",") if name.strip()
+        ) if args.policies else (),
+        devices=tuple(
+            name.strip() for name in args.devices.split(",") if name.strip()
+        ),
+        pressures=tuple(
+            name.strip() for name in args.pressures.split(",") if name.strip()
+        ),
+        reps=args.reps,
+        duration_s=args.duration,
+        resolution=args.resolution,
+        fps=args.fps,
+        base_seed=args.seed,
+    )
+    try:
+        grid = arena_jobs(config)
+    except (KeyError, ValueError) as exc:
+        print(f"arena: {exc}", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache and not os.environ.get(CACHE_DISABLE_ENV):
+        cache = ResultCache(default_arena_cache_dir(), result_type=ArenaRecord)
+    journal = None
+    if not args.no_journal:
+        path = Path(args.journal) if args.journal else None
+        journal = make_arena_journal(grid, path=path, resume=args.resume)
+    report = FabricReport()
+    try:
+        result = run_arena(
+            config,
+            jobs=resolve_jobs(args.jobs),
+            cache=cache,
+            journal=journal,
+            report=report,
+        )
+    except SweepInterrupted as exc:
+        print(
+            f"arena interrupted: {exc.completed}/{exc.total} sessions "
+            "checkpointed",
+            file=sys.stderr,
+        )
+        if exc.journal_path is not None:
+            print(
+                "resume with the same command plus --resume "
+                f"(journal: {exc.journal_path})",
+                file=sys.stderr,
+            )
+        return 130
+    paths = None
+    if args.out:
+        paths = write_artifact(result.leaderboard, Path(args.out))
+    if args.json:
+        print(json.dumps(result.leaderboard, sort_keys=True, indent=2))
+        return 0
+    print(render_table(result.leaderboard), end="")
+    if paths is not None:
+        print(f"artifact: {paths[0]}")
+    print(f"fabric: {report.summary()}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Thin wrapper over ``benchmarks.perf.run`` (the perf harness lives
     alongside the repo, not inside the installed package)."""
@@ -548,6 +630,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated seconds per session job")
     chaos_p.add_argument("--json", action="store_true")
     chaos_p.set_defaults(func=cmd_chaos)
+
+    arena_p = sub.add_parser(
+        "arena",
+        help="ABR policy competition scored by QoE objectives "
+             "(see docs/arena.md)",
+    )
+    arena_p.add_argument("--policies", default=None,
+                         help="comma-separated registered policy names "
+                              "(default: all registered entrants)")
+    arena_p.add_argument("--devices", default="nokia1,nexus5,nexus6p")
+    arena_p.add_argument("--pressures", default="normal,moderate,critical")
+    arena_p.add_argument("--reps", type=int, default=3)
+    arena_p.add_argument("--duration", type=float, default=30.0)
+    arena_p.add_argument("--resolution", default="480p",
+                         choices=RESOLUTION_ORDER)
+    arena_p.add_argument("--fps", type=int, default=60,
+                         choices=SUPPORTED_FRAME_RATES)
+    arena_p.add_argument("--seed", type=int, default=31,
+                         help="base seed of the per-rep schedule "
+                              "(rep seeds are base + rep * 101, the "
+                              "legacy memory_aware_comparison schedule)")
+    arena_p.add_argument("--jobs", type=int, default=1,
+                         help="fan arena sessions over N worker "
+                              "processes (0 = all cores)")
+    arena_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk arena record cache")
+    arena_p.add_argument("--resume", action="store_true",
+                         help="resume an interrupted arena run from its "
+                              "checkpoint journal (completed sessions "
+                              "replay bit-identically)")
+    arena_p.add_argument("--journal", default=None,
+                         help="checkpoint journal path (default: derived "
+                              "from the run's job digests under the cache "
+                              "directory)")
+    arena_p.add_argument("--no-journal", action="store_true",
+                         help="disable checkpointing for this run")
+    arena_p.add_argument("--out", default=None, metavar="DIR",
+                         help="write the leaderboard artifact "
+                              "(content-addressed JSON + rendered table) "
+                              "into DIR")
+    arena_p.add_argument("--json", action="store_true")
+    arena_p.set_defaults(func=cmd_arena)
 
     bench_p = sub.add_parser(
         "bench",

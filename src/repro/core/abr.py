@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..kernel.pressure import MemoryPressureLevel
+from ..sim.clock import to_seconds
 from ..video.dash import Representation
 from ..video.encoding import RESOLUTION_ORDER
 
@@ -147,6 +148,125 @@ class BolaAbr(AbrController):
             if best_score is None or score > best_score:
                 best, best_score = rep, score
         return best
+
+
+class HybridAbr(AbrController):
+    """Context-aware hybrid: a network ABR proposes the rung, then the
+    device's memory state adapts the *decode* resolution and frame rate
+    (the Machidon et al. direction, PAPERS.md) with recovery hysteresis.
+
+    Differences from :class:`MemoryAwareAbr`, which reacts to the same
+    signals:
+
+    * the inner controller defaults to :class:`BufferBasedAbr`, so the
+      network proposal already tracks buffer occupancy;
+    * Moderate pressure caps the frame rate at 30 (not 24) and already
+      steps the resolution down one rung — decode-resolution adaptation
+      is the first lever, not the last;
+    * caps are lifted only after the device has stayed at Normal for
+      ``recovery_s`` simulated seconds (hysteresis), so a device
+      oscillating around a watermark does not thrash the codec; and
+    * upswitches are additionally gated on the buffer being above the
+      inner controller's reservoir, because a codec reconfiguration
+      flushes exactly the media a starved buffer cannot spare.
+    """
+
+    LEVEL_CAPS: Dict[MemoryPressureLevel, tuple] = {
+        MemoryPressureLevel.NORMAL: (60, 0),
+        MemoryPressureLevel.MODERATE: (30, 1),
+        MemoryPressureLevel.LOW: (24, 2),
+        MemoryPressureLevel.CRITICAL: (24, 3),
+    }
+
+    def __init__(
+        self,
+        inner: Optional[AbrController] = None,
+        caps: Optional[Dict[MemoryPressureLevel, tuple]] = None,
+        recovery_s: float = 6.0,
+        flush_on_signal: bool = True,
+    ) -> None:
+        self.inner = inner if inner is not None else BufferBasedAbr()
+        self.caps = dict(self.LEVEL_CAPS)
+        if caps:
+            self.caps.update(caps)
+        self.recovery_s = recovery_s
+        self.flush_on_signal = flush_on_signal
+        #: The most severe level currently governing the caps.
+        self._held_level = MemoryPressureLevel.NORMAL
+        #: Sim time (seconds) the device was last seen above Normal.
+        self._last_elevated_s = float("-inf")
+        self.decision_log: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def _observe(self, player, level: MemoryPressureLevel) -> None:
+        """Fold an observed level into the held (hysteretic) level."""
+        now_s = to_seconds(player.sim.now)
+        if level > MemoryPressureLevel.NORMAL:
+            self._last_elevated_s = now_s
+            if level > self._held_level:
+                self._held_level = level
+        elif (
+            self._held_level > MemoryPressureLevel.NORMAL
+            and now_s - self._last_elevated_s >= self.recovery_s
+        ):
+            self._held_level = MemoryPressureLevel.NORMAL
+
+    def choose_representation(self, player) -> Optional[Representation]:
+        self._observe(player, player.manager.monitor.level)
+        proposal = None
+        if self.inner is not None:
+            proposal = self.inner.choose_representation(player)
+        if proposal is None:
+            proposal = player.current_rep
+        capped = self._capped(player, proposal)
+        if capped is not None and self._blocked_upswitch(player, capped):
+            return None
+        return capped
+
+    def on_pressure_signal(self, player, level: MemoryPressureLevel) -> None:
+        """An OnTrimMemory escalation applies the caps at the playhead."""
+        before = self._held_level
+        self._observe(player, level)
+        if self._held_level == before:
+            return
+        capped = self._capped(player, player.current_rep)
+        if capped is not None and capped.id != player.current_rep.id:
+            player.set_representation(
+                capped.resolution, capped.fps, flush=self.flush_on_signal
+            )
+            self.decision_log.append((level.name, capped.id))
+
+    # ------------------------------------------------------------------
+    def _capped(self, player, proposal: Representation):
+        max_fps, steps_down = self.caps.get(self._held_level, (60, 0))
+        resolution = proposal.resolution
+        if steps_down > 0:
+            index = RESOLUTION_ORDER.index(resolution)
+            resolution = RESOLUTION_ORDER[max(0, index - steps_down)]
+        fps_options = sorted(
+            {rep.fps for rep in player.manifest.representations}
+        )
+        allowed = [fps for fps in fps_options if fps <= max_fps]
+        fps = allowed[-1] if allowed else fps_options[0]
+        if proposal.fps <= max_fps and steps_down == 0:
+            return proposal
+        try:
+            return player.manifest.representation(resolution, fps)
+        except KeyError:
+            return proposal
+
+    def _blocked_upswitch(self, player, choice: Representation) -> bool:
+        """Defer quality increases while the buffer sits in the danger
+        zone: a switch flushes buffered media the session cannot spare."""
+        current = player.current_rep
+        upswitch = (
+            choice.bitrate_kbps > current.bitrate_kbps
+            or choice.fps > current.fps
+        )
+        if not upswitch:
+            return False
+        reservoir = getattr(self.inner, "reservoir_s", 8.0)
+        return player.buffer_level_s < reservoir
 
 
 class MemoryAwareAbr(AbrController):

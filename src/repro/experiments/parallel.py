@@ -287,8 +287,14 @@ class ResultCache:
     affected job simply re-runs.
     """
 
-    def __init__(self, root: Path | str) -> None:
+    def __init__(
+        self, root: Path | str, result_type: type = SessionResult
+    ) -> None:
         self.root = Path(root)
+        #: Entry payload type accepted on read.  Session sweeps use the
+        #: default; other job families (e.g. arena records) pass their
+        #: own so a foreign or stale entry is quarantined, not replayed.
+        self.result_type = result_type
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
@@ -297,7 +303,7 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[SessionResult]:
+    def get(self, key: str) -> Optional[Any]:
         path = self.path_for(key)
         try:
             with path.open("rb") as fh:
@@ -311,14 +317,17 @@ class ResultCache:
             self._quarantine(path, repr(exc))
             self.misses += 1
             return None
-        if not isinstance(result, SessionResult):
-            self._quarantine(path, f"not a SessionResult: {type(result).__name__}")
+        if not isinstance(result, self.result_type):
+            self._quarantine(
+                path,
+                f"not a {self.result_type.__name__}: {type(result).__name__}",
+            )
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def put(self, key: str, result: SessionResult) -> None:
+    def put(self, key: str, result: Any) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")

@@ -95,6 +95,14 @@ class SessionResult:
 
     @property
     def mean_rendered_fps(self) -> float:
+        """Mean of the per-second rendered-FPS bins.
+
+        Defined behavior at the edges: a session that never rendered a
+        frame (e.g. killed at Critical pressure before reaching steady
+        state) has an empty ``fps_series`` and reports exactly 0.0 —
+        never a ZeroDivisionError, never a stale value from a previous
+        representation.
+        """
         if not self.fps_series:
             return 0.0
         return sum(self.fps_series) / len(self.fps_series)
@@ -104,9 +112,23 @@ class SessionResult:
         """Drop rate over the frames *scheduled* for the full session:
         a crash makes every unplayed frame a dropped frame (this is the
         quantity behind the paper's ~100% bars at Critical, where runs
-        were 'either unplayable or the video client crashed')."""
+        were 'either unplayable or the video client crashed').
+
+        Defined behavior at the edges: zero rendered frames always
+        yields 1.0 for any session with a positive frame schedule —
+        including the degenerate case where ``duration_s * fps`` rounds
+        to zero but the session still crashed or processed frames, which
+        previously reported a perfect 0.0.  A genuinely empty schedule
+        (no duration, nothing processed, no crash) is 0.0.
+        """
         due = round(self.duration_s * self.fps)
         if due <= 0:
+            # Degenerate schedule: fall back on what actually happened
+            # rather than declaring a flawless session.
+            if self.crashed or self.frames_processed > 0:
+                if self.frames_rendered == 0:
+                    return 1.0
+                return self.drop_rate
             return 0.0
         return min(1.0, max(0.0, 1.0 - self.frames_rendered / due))
 

@@ -1,0 +1,9 @@
+"""REP110 is scoped to experiments/: the same calls are fine in core."""
+
+from repro.core.abr import MemoryAwareAbr
+
+
+def controller_for_unit_test():
+    # core (and tests, arena, cli) may construct controllers directly;
+    # only experiments/ must route through the registry.
+    return MemoryAwareAbr()

@@ -1,0 +1,27 @@
+"""Bad fixture for REP110: ad-hoc ABR controllers in an experiment."""
+
+from repro.arena.policies import build_policy
+from repro.core import abr
+from repro.core.abr import HybridAbr, MemoryAwareAbr
+
+
+def compare_controllers(run):
+    legacy = run(MemoryAwareAbr())  # 1: direct construction by name
+    tuned = run(abr.BufferBasedAbr(reservoir_s=4.0))  # 2: via module attr
+    contextual = run(HybridAbr(recovery_s=3.0))  # 3: shipped entrant, ad hoc
+    return legacy, tuned, contextual
+
+
+def good_registry(run):
+    # fine: the registry path carries the policy's fingerprint
+    return run(build_policy("pressure"))
+
+
+def good_factory_reference(make_spec):
+    # fine: passing the class as a factory is a reference, not a call
+    return make_spec(abr=MemoryAwareAbr)
+
+
+def good_exempted(run):
+    # fine: a deliberate, visible exemption
+    return run(MemoryAwareAbr())  # repro: noqa[REP110]

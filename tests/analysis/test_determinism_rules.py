@@ -25,6 +25,7 @@ def findings_for(rel_path, rule):
     ("repro/core/bad_float_eq.py", "REP106", 2),
     ("repro/kernel/bad_poll_loop.py", "REP108", 2),
     ("repro/experiments/bad_swallow.py", "REP109", 4),
+    ("repro/experiments/bad_adhoc_policy.py", "REP110", 3),
 ])
 def test_bad_fixture_finding_counts(rel_path, rule, expected):
     found = findings_for(rel_path, rule)
@@ -71,6 +72,24 @@ def test_swallow_rule_spares_handlers_that_record():
     assert "contextlib.suppress" in messages
     # The counting and re-raising handlers at the bottom are clean.
     assert max(flagged_lines) < 35
+
+
+def test_adhoc_policy_rule_is_scoped_to_experiments():
+    """Direct controller construction is fine everywhere else (core
+    unit tests, the arena registry itself, the CLI) — REP110 polices
+    only experiments/."""
+    found = findings_for("repro/core/adhoc_policy_out_of_scope.py", "REP110")
+    assert found == []
+
+
+def test_adhoc_policy_rule_spares_registry_and_factories():
+    """build_policy() calls, factory *references*, and noqa-exempted
+    lines in the bad fixture stay clean; only the three ad-hoc
+    constructions fire."""
+    found = findings_for("repro/experiments/bad_adhoc_policy.py", "REP110")
+    assert {f.line for f in found} == {9, 10, 11}
+    messages = " ".join(f.message for f in found)
+    assert "build_policy" in messages
 
 
 def test_good_fixture_is_clean():

@@ -1,0 +1,61 @@
+"""The differential oracle: arena-vs-legacy, bit for bit.
+
+The arena's ``pressure`` entrant *is* :class:`MemoryAwareAbr` run under
+the legacy ``memory_aware_comparison`` recipe — same device factory and
+seed, same travel asset, same representation, same seed schedule
+(``base_seed + rep * 101``).  If the arena driver ever drifts from the
+legacy experiment — a changed default, a perturbing trace subscription,
+a different asset — these equalities break on exact floats, not within
+a tolerance.
+"""
+
+from repro.arena import ArenaConfig, arena_jobs, run_arena_job
+from repro.experiments.adaptation_experiments import memory_aware_comparison
+
+DURATION_S = 8.0
+REPS = 2
+
+
+def arena_pressure_outcome():
+    config = ArenaConfig(
+        policies=("pressure",),
+        devices=("nokia1",),
+        pressures=("moderate",),
+        reps=REPS,
+        duration_s=DURATION_S,
+    )
+    records = [run_arena_job(job) for job in arena_jobs(config)]
+    assert len(records) == REPS
+    return {
+        "mean_drop_rate": sum(r.drop_rate for r in records) / REPS,
+        "crash_rate": sum(r.crashed for r in records) / REPS,
+        "mean_rendered_fps": sum(r.mean_rendered_fps for r in records) / REPS,
+    }, records
+
+
+def test_pressure_entrant_reproduces_legacy_numbers_exactly():
+    legacy = memory_aware_comparison(
+        duration_s=DURATION_S, repetitions=REPS,
+    )["memory_aware"]
+    arena, _ = arena_pressure_outcome()
+    # Bit-for-bit: exact float equality, no tolerance.
+    assert arena == legacy
+
+
+def test_arena_seed_schedule_matches_legacy():
+    config = ArenaConfig(
+        policies=("pressure",), devices=("nokia1",),
+        pressures=("moderate",), reps=3,
+    )
+    assert [job.seed for job in arena_jobs(config)] == [31, 132, 233]
+
+
+def test_trace_subscription_is_behavior_neutral():
+    """The collector rides the zero-cost instrumentation bus: every
+    record still carries a real trace (frames were observed) while the
+    oracle equality above proves the observation perturbed nothing."""
+    _, records = arena_pressure_outcome()
+    for record in records:
+        assert record.trace.rendered_frames > 0
+        assert record.trace.first_render_s is not None
+        assert record.trace.pressure_dwell  # the device left Normal

@@ -1,0 +1,137 @@
+"""The policy registry and the hybrid entrant's decision logic."""
+
+import pickle
+
+import pytest
+
+from repro.arena.policies import (
+    PolicyEntry,
+    _REGISTRY,
+    build_policy,
+    get_policy,
+    policy_names,
+    register_policy,
+)
+from repro.core.abr import (
+    BufferBasedAbr,
+    HybridAbr,
+    MemoryAwareAbr,
+    RateBasedAbr,
+)
+from repro.core.signals import MemoryPressureLevel
+from repro.device import nexus5
+from repro.video import VideoPlayer
+from repro.video.encoding import GENRES, VideoAsset
+
+
+def make_player(frame_rates=(24, 48, 60), resolution="480p", fps=60):
+    device = nexus5(seed=20)
+    asset = VideoAsset("t", GENRES["travel"], 20.0, frame_rates=frame_rates)
+    return VideoPlayer(device, asset, resolution, fps)
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+def test_four_entrants_ship_in_registration_order():
+    assert policy_names() == ["buffer", "rate", "pressure", "hybrid"]
+
+
+@pytest.mark.parametrize("name,cls", [
+    ("buffer", BufferBasedAbr),
+    ("rate", RateBasedAbr),
+    ("pressure", MemoryAwareAbr),
+    ("hybrid", HybridAbr),
+])
+def test_build_policy_constructs_the_right_controller(name, cls):
+    controller = build_policy(name)
+    assert type(controller) is cls
+    # A fresh instance per build: controllers carry per-session state.
+    assert build_policy(name) is not controller
+
+
+def test_unknown_policy_names_the_options():
+    with pytest.raises(KeyError, match="pressure"):
+        get_policy("nope")
+
+
+def test_duplicate_registration_is_an_error():
+    entry = get_policy("buffer")
+    with pytest.raises(ValueError, match="already registered"):
+        register_policy(entry)
+    assert policy_names().count("buffer") == 1
+
+
+def test_non_callable_factory_is_rejected():
+    with pytest.raises(TypeError, match="not callable"):
+        register_policy(PolicyEntry(
+            name="broken", family="x", description="", factory=None,
+        ))
+    assert "broken" not in _REGISTRY
+
+
+def test_fingerprint_folds_name_and_revision():
+    assert get_policy("pressure").fingerprint == "pressure@1"
+    bumped = PolicyEntry(
+        name="pressure", family="memory/signal", description="",
+        factory=MemoryAwareAbr, revision=2,
+    )
+    assert bumped.fingerprint == "pressure@2"
+
+
+def test_entries_are_picklable_for_worker_processes():
+    for name in policy_names():
+        entry = pickle.loads(pickle.dumps(get_policy(name)))
+        assert entry.build() is not None
+
+
+# ----------------------------------------------------------------------
+# The hybrid entrant
+# ----------------------------------------------------------------------
+def test_hybrid_adapts_decode_resolution_on_moderate_signal():
+    player = make_player()
+    abr = HybridAbr(flush_on_signal=False)
+    abr.on_pressure_signal(player, MemoryPressureLevel.MODERATE)
+    # Moderate: one resolution step down, frame rate under the 30 cap
+    # (the §6 ladder offers 24/48/60, so 24 is the highest allowed).
+    assert player.current_rep.resolution == "360p"
+    assert player.current_rep.fps == 24
+    assert abr.decision_log
+
+
+def test_hybrid_critical_floors_the_ladder():
+    player = make_player()
+    abr = HybridAbr(flush_on_signal=False)
+    abr.on_pressure_signal(player, MemoryPressureLevel.CRITICAL)
+    assert player.current_rep.resolution == "240p"
+    assert player.current_rep.fps == 24
+
+
+def test_hybrid_holds_caps_until_recovery_window():
+    player = make_player()
+    held = HybridAbr(flush_on_signal=False, recovery_s=6.0)
+    held.on_pressure_signal(player, MemoryPressureLevel.CRITICAL)
+    # Pressure cleared immediately — the hysteretic hold persists until
+    # the device has dwelt at Normal for recovery_s simulated seconds.
+    player.manager.monitor.level = MemoryPressureLevel.NORMAL
+    held.choose_representation(player)
+    assert held._held_level is MemoryPressureLevel.CRITICAL
+
+    relaxed = HybridAbr(flush_on_signal=False, recovery_s=0.0)
+    relaxed.on_pressure_signal(player, MemoryPressureLevel.CRITICAL)
+    relaxed.choose_representation(player)
+    assert relaxed._held_level is MemoryPressureLevel.NORMAL
+
+
+def test_hybrid_gates_upswitch_on_buffer_occupancy():
+    player = make_player(fps=60)
+    player.throughput_history.append((0.0, 50.0))
+    abr = HybridAbr(inner=RateBasedAbr(fps=60))
+    player.buffer.level_s = 0.0
+    # The inner controller proposes a much higher rung; with a starved
+    # buffer the upswitch (whose codec reconfig flushes media) defers.
+    assert abr.choose_representation(player) is None
+    player.buffer.level_s = 50.0
+    choice = abr.choose_representation(player)
+    assert choice is not None
+    assert choice.bitrate_kbps > player.current_rep.bitrate_kbps

@@ -1,0 +1,183 @@
+"""Property tests for the QoE objectives.
+
+The scorers' contracts, enforced over synthetic metrics:
+
+* both are monotone non-increasing in rebuffer seconds and in switch
+  count at fixed everything-else;
+* the multiplicative objective is invariant under a common scaling of
+  every time-denominated field (it is dimensionless in time);
+* on rebuffer-only perturbations the two scorers agree on the total
+  ordering of sessions (away from the multiplicative floor).
+"""
+
+import math
+from dataclasses import replace
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arena.scoring import (
+    OBJECTIVES,
+    AdditiveObjective,
+    MultiplicativeObjective,
+    SessionMetrics,
+    metrics_from,
+    perceptual_quality,
+    score_all,
+)
+from repro.video.encoding import BITRATE_LADDER_KBPS, RESOLUTION_ORDER
+from repro.video.player import SessionResult
+
+LADDER_KBPS = sorted({
+    kbps for rungs in BITRATE_LADDER_KBPS.values() for kbps in rungs.values()
+})
+
+#: Bounded, non-degenerate metrics: stalls and startup leave headroom
+#: (< duration), so the multiplicative factors stay off their floors
+#: and ordering comparisons are meaningful.
+@st.composite
+def session_metrics(draw, crashed=None):
+    duration = draw(st.floats(min_value=10.0, max_value=240.0))
+    fraction = st.floats(min_value=0.0, max_value=0.2)
+    is_crashed = (
+        draw(st.booleans()) if crashed is None else crashed
+    )
+    return SessionMetrics(
+        duration_s=duration,
+        startup_s=draw(fraction) * duration,
+        rebuffer_s=draw(fraction) * duration,
+        freeze_s=draw(fraction) * duration,
+        switch_count=draw(st.integers(min_value=0, max_value=20)),
+        played_kbps=tuple(draw(st.lists(
+            st.sampled_from(LADDER_KBPS), min_size=0, max_size=12,
+        ))),
+        mean_rendered_fps=draw(st.floats(min_value=1.0, max_value=60.0)),
+        nominal_fps=draw(st.sampled_from([24, 30, 48, 60])),
+        resolution=draw(st.sampled_from(RESOLUTION_ORDER)),
+        drop_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+        crashed=is_crashed,
+        crash_time_s=None,
+    )
+
+
+# The crash_time field rides along with crashed; patch it coherently.
+def _coherent(metrics):
+    if metrics.crashed:
+        return replace(metrics, crash_time_s=metrics.duration_s / 2)
+    return replace(metrics, crash_time_s=None)
+
+
+@given(session_metrics(), st.floats(min_value=0.0, max_value=30.0))
+def test_scores_monotone_nonincreasing_in_rebuffer(metrics, extra):
+    metrics = _coherent(metrics)
+    worse = replace(metrics, rebuffer_s=metrics.rebuffer_s + extra)
+    for objective in OBJECTIVES.values():
+        assert objective.score(worse).value <= objective.score(metrics).value
+
+
+@given(session_metrics(), st.integers(min_value=0, max_value=15))
+def test_scores_monotone_nonincreasing_in_switch_count(metrics, extra):
+    metrics = _coherent(metrics)
+    worse = replace(metrics, switch_count=metrics.switch_count + extra)
+    for objective in OBJECTIVES.values():
+        assert objective.score(worse).value <= objective.score(metrics).value
+
+
+@given(
+    session_metrics(),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+def test_multiplicative_is_time_scale_invariant(metrics, factor):
+    """Scaling every time-denominated field by one constant leaves the
+    multiplicative score unchanged (it only ever sees time ratios)."""
+    metrics = _coherent(metrics)
+    scaled = replace(
+        metrics,
+        duration_s=metrics.duration_s * factor,
+        startup_s=metrics.startup_s * factor,
+        rebuffer_s=metrics.rebuffer_s * factor,
+        freeze_s=metrics.freeze_s * factor,
+        crash_time_s=(
+            None if metrics.crash_time_s is None
+            else metrics.crash_time_s * factor
+        ),
+    )
+    objective = MultiplicativeObjective()
+    assert math.isclose(
+        objective.score(scaled).value,
+        objective.score(metrics).value,
+        rel_tol=1e-9, abs_tol=1e-12,
+    )
+
+
+@given(
+    session_metrics(crashed=False),
+    st.floats(min_value=0.0, max_value=0.2),
+    st.floats(min_value=0.0, max_value=0.2),
+)
+def test_scorers_agree_on_rebuffer_only_orderings(metrics, f1, f2):
+    """For two sessions differing only in rebuffer seconds (with
+    headroom below the stall ceiling), both scorers rank them the same
+    way: less rebuffering never scores lower."""
+    metrics = _coherent(metrics)
+    a = replace(metrics, rebuffer_s=f1 * metrics.duration_s)
+    b = replace(metrics, rebuffer_s=f2 * metrics.duration_s)
+    additive = AdditiveObjective()
+    multiplicative = MultiplicativeObjective()
+    d_add = additive.score(a).value - additive.score(b).value
+    d_mul = multiplicative.score(a).value - multiplicative.score(b).value
+    # Agreement: the scorers never *oppose* each other (less rebuffering
+    # never ranks lower under either objective) ...
+    if a.rebuffer_s <= b.rebuffer_s:
+        assert d_add >= 0.0 and d_mul >= 0.0
+    else:
+        assert d_add <= 0.0 and d_mul <= 0.0
+    # ... and for perturbations large enough to survive float
+    # absorption, both orderings are strict, so the total orders match.
+    if abs(a.rebuffer_s - b.rebuffer_s) > 1e-6 * metrics.duration_s:
+        assert (d_add > 0.0) == (a.rebuffer_s < b.rebuffer_s)
+        assert (d_mul > 0.0) == (a.rebuffer_s < b.rebuffer_s)
+
+
+@given(st.lists(st.sampled_from(LADDER_KBPS), min_size=2, max_size=2))
+def test_perceptual_quality_is_monotone_on_the_ladder(pair):
+    lo, hi = sorted(pair)
+    assert perceptual_quality(lo) <= perceptual_quality(hi)
+
+
+def test_perceptual_quality_anchors():
+    assert perceptual_quality(min(LADDER_KBPS)) == 0.0
+    assert perceptual_quality(max(LADDER_KBPS)) == 100.0
+
+
+def test_crash_collapses_both_scores():
+    clean = _coherent(SessionMetrics(
+        duration_s=60.0, startup_s=2.0, rebuffer_s=1.0, freeze_s=0.5,
+        switch_count=2, played_kbps=(4000, 4000), mean_rendered_fps=45.0,
+        nominal_fps=60, resolution="480p", drop_rate=0.1,
+        crashed=False, crash_time_s=None,
+    ))
+    crashed = replace(clean, crashed=True, crash_time_s=10.0)
+    scores_clean = score_all(clean)
+    scores_crashed = score_all(crashed)
+    for name in OBJECTIVES:
+        assert scores_crashed[name].value < scores_clean[name].value
+
+
+def test_metrics_from_degrades_safely_without_a_trace():
+    rendered = SessionResult(
+        device_name="nexus5", client_name="firefox", resolution="480p",
+        fps=60, genre="travel", duration_s=30.0, frames_rendered=100,
+        frames_processed=120,
+    )
+    m = metrics_from(rendered)
+    assert m.startup_s == 0.0 and m.freeze_s == 0.0
+
+    never_rendered = SessionResult(
+        device_name="nexus5", client_name="firefox", resolution="480p",
+        fps=60, genre="travel", duration_s=30.0, crashed=True,
+    )
+    worst = metrics_from(never_rendered)
+    # No first frame -> the worst defensible startup: the full duration.
+    assert worst.startup_s == never_rendered.duration_s
+    assert worst.drop_rate == 1.0

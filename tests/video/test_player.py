@@ -104,3 +104,65 @@ def test_session_end_emits_event():
     device.sim.on("session.end", lambda time, player: ended.append(time))
     play(device, "240p", 30, duration=8.0)
     assert len(ended) == 1
+
+
+# ----------------------------------------------------------------------
+# SessionResult edge cases: zero rendered frames must never report a
+# flawless session (regression tests for the degenerate-schedule fixes
+# in effective_drop_rate / mean_rendered_fps).
+# ----------------------------------------------------------------------
+def make_result(**overrides):
+    from repro.video.player import SessionResult
+
+    base = dict(
+        device_name="nexus5", client_name="firefox", resolution="480p",
+        fps=60, genre="travel", duration_s=10.0,
+    )
+    base.update(overrides)
+    return SessionResult(**base)
+
+
+def test_mean_rendered_fps_is_zero_without_samples():
+    assert make_result().mean_rendered_fps == 0.0
+    assert make_result(fps_series=[30.0, 60.0]).mean_rendered_fps == 45.0
+
+
+def test_effective_drop_rate_counts_unplayed_frames_after_crash():
+    crashed = make_result(frames_rendered=300, crashed=True)
+    assert crashed.effective_drop_rate == pytest.approx(0.5)
+
+
+def test_effective_drop_rate_clamps_overdelivery_to_zero():
+    # An ABR upswitch can render more frames than the nominal schedule;
+    # the rate clamps at 0 instead of going negative.
+    eager = make_result(frames_rendered=700)
+    assert eager.effective_drop_rate == 0.0
+
+
+@pytest.mark.parametrize("overrides,expected", [
+    # Crash before any frame was due: total loss, not a perfect run.
+    (dict(duration_s=0.0, crashed=True), 1.0),
+    # Frames entered the pipeline but none rendered: total loss.
+    (dict(duration_s=0.0, frames_processed=12), 1.0),
+    # Frames processed AND rendered with a zero schedule: fall back on
+    # the pipeline's own measured drop rate.
+    (dict(duration_s=0.0, frames_processed=10, frames_rendered=8,
+          drop_rate=0.2), 0.2),
+    # Genuinely empty session: nothing scheduled, nothing lost.
+    (dict(duration_s=0.0), 0.0),
+    # Sub-frame duration rounds the schedule to zero frames.
+    (dict(duration_s=0.004, crashed=True), 1.0),
+])
+def test_effective_drop_rate_degenerate_schedules(overrides, expected):
+    assert make_result(**overrides).effective_drop_rate == expected
+
+
+def test_killed_at_critical_reports_total_loss_not_zero():
+    """The paper's ~100% bars at Critical: a session killed before its
+    first rendered frame must report drop rate 1.0 and fps 0.0."""
+    victim = make_result(
+        duration_s=30.0, crashed=True, crash_time_s=0.2,
+        frames_processed=5, frames_rendered=0,
+    )
+    assert victim.effective_drop_rate == 1.0
+    assert victim.mean_rendered_fps == 0.0
