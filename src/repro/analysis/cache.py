@@ -1,0 +1,82 @@
+"""Content-addressed per-file analysis cache.
+
+A lint run spends nearly all of its time in per-file work: parsing,
+single-file rules, and fact extraction (functions, taint summaries,
+emit shapes, class shapes) for the whole-program passes.  All of that
+is a pure function of the file's bytes and the rule set, so it is
+cached under ``sha256(content)`` — the same content-address idiom the
+experiment fabric uses for sweep results.
+
+A cache *entry* stores the serialized :class:`~repro.analysis.engine.
+FileAnalysis` — findings, suppressions, noqa map, and
+:class:`~repro.analysis.project.FileFacts` — so a warm run re-analyzes
+zero unchanged files and still runs every project rule against exact
+facts.  Project-rule findings are never cached: they depend on the
+whole target set, and recomputing them from cached facts is cheap.
+
+The entry key mixes in :data:`CACHE_VERSION` (bumped whenever rule
+logic or the facts schema changes shape) and the rule-id list, so stale
+formats and ``--rules`` subsets can never alias each other.  Entries
+are one JSON file each under the cache directory; corrupt or
+unreadable entries behave as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+#: Bump when rule logic, the facts schema, or the record layout changes.
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path(".lint-cache")
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def entry_key(digest: str, rule_ids: Sequence[str]) -> str:
+    """Cache key for one file's analysis under one rule set."""
+    blob = f"v{CACHE_VERSION}::{digest}::{','.join(rule_ids)}"
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class AnalysisCache:
+    """Directory of ``<key>.json`` analysis records."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            text = self._entry_path(key).read_text(encoding="utf-8")
+            record = json.loads(text)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, key: str, record: Dict[str, Any]) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._entry_path(key)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(record, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(path)
+        except OSError:
+            pass  # a read-only or full disk degrades to uncached

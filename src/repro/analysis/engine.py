@@ -220,7 +220,7 @@ def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
 # ----------------------------------------------------------------------
 # Engine entry point
 # ----------------------------------------------------------------------
-from .project import ProjectIndex  # noqa: E402  (circular-free by design)
+from .project import FileFacts, ProjectIndex, extract_file_facts  # noqa: E402
 
 
 @dataclass
@@ -232,6 +232,8 @@ class LintResult:
     suppressed: List[Finding]        #: silenced by ``# repro: noqa``
     files_checked: int
     rules_run: List[str]
+    files_analyzed: int = 0          #: cache misses (parsed + analyzed)
+    files_cached: int = 0            #: cache hits (facts + findings replayed)
 
     @property
     def ok(self) -> bool:
@@ -252,6 +254,179 @@ def collect_files(paths: Sequence[Path], root: Path) -> List[SourceFile]:
     return [seen[rel] for rel in sorted(seen)]
 
 
+def collect_paths(paths: Sequence[Path], root: Path) -> List[Tuple[Path, str]]:
+    """``(absolute path, rel)`` pairs under ``paths`` — no parsing.
+
+    The cached/parallel driver wants to hash file contents and decide
+    hit/miss *before* paying for the parse, so discovery is separate
+    from :func:`collect_files` (which both parses eagerly).
+    """
+    seen: Dict[str, Path] = {}
+
+    def rel_of(path: Path) -> str:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            seen[rel_of(path)] = path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                seen[rel_of(candidate)] = candidate
+    return [(seen[rel], rel) for rel in sorted(seen)]
+
+
+# ----------------------------------------------------------------------
+# Per-file analysis records (the unit of caching and parallelism)
+# ----------------------------------------------------------------------
+def _finding_to_dict(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }
+
+
+def _finding_from_dict(data: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(data["rule"]),
+        severity=str(data["severity"]),
+        path=str(data["path"]),
+        line=int(data["line"]),       # type: ignore[arg-type]
+        col=int(data["col"]),         # type: ignore[arg-type]
+        message=str(data["message"]),
+    )
+
+
+@dataclass
+class FileAnalysis:
+    """Everything one file contributes to a lint run.
+
+    Fully JSON-serializable so it can cross the worker-pool pickle
+    boundary and live in the content-addressed cache: single-file rule
+    findings (already split by suppression), the noqa map (project-rule
+    findings are suppressed against it later), and the
+    :class:`~repro.analysis.project.FileFacts` the whole-program passes
+    consume.  ``facts`` is None for files that failed to parse.
+    """
+
+    rel: str
+    findings: List[Finding]
+    suppressed: List[Finding]
+    noqa: Dict[int, Optional[FrozenSet[str]]]
+    facts: Optional[FileFacts]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rel": self.rel,
+            "findings": [_finding_to_dict(f) for f in self.findings],
+            "suppressed": [_finding_to_dict(f) for f in self.suppressed],
+            "noqa": {
+                str(line): (None if rules is None else sorted(rules))
+                for line, rules in self.noqa.items()
+            },
+            "facts": None if self.facts is None else self.facts.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FileAnalysis":
+        noqa: Dict[int, Optional[FrozenSet[str]]] = {}
+        for line, rules in data.get("noqa", {}).items():  # type: ignore[union-attr]
+            noqa[int(line)] = None if rules is None else frozenset(rules)
+        facts_data = data.get("facts")
+        return cls(
+            rel=str(data["rel"]),
+            findings=[_finding_from_dict(f) for f in data["findings"]],  # type: ignore[union-attr]
+            suppressed=[_finding_from_dict(f) for f in data["suppressed"]],  # type: ignore[union-attr]
+            noqa=noqa,
+            facts=None if facts_data is None else FileFacts.from_dict(facts_data),  # type: ignore[arg-type]
+        )
+
+
+def analyze_file(src: SourceFile, rules: Sequence[Rule]) -> FileAnalysis:
+    """Run the single-file rules and extract facts for one file."""
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    facts: Optional[FileFacts] = None
+    if src.tree is None:
+        assert src.syntax_error is not None
+        findings.append(Finding(
+            rule="REP001",
+            severity="error",
+            path=src.rel,
+            line=src.syntax_error.lineno or 1,
+            col=(src.syntax_error.offset or 0) + 1,
+            message=f"syntax error: {src.syntax_error.msg}",
+        ))
+    else:
+        for rule in rules:
+            if isinstance(rule, ProjectRule) or not rule.applies_to(src):
+                continue
+            for finding in rule.check_file(src):
+                if src.suppressed(finding):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+        facts = extract_file_facts(src.rel, src.tree)
+    return FileAnalysis(
+        rel=src.rel,
+        findings=findings,
+        suppressed=suppressed,
+        noqa=dict(src.noqa),
+        facts=facts,
+    )
+
+
+def _noqa_covers(
+    noqa: Dict[int, Optional[FrozenSet[str]]], finding: Finding
+) -> bool:
+    entry = noqa.get(finding.line, False)
+    if entry is False:
+        return False
+    return entry is None or finding.rule in entry
+
+
+def finish_run(
+    analyses: Sequence[FileAnalysis], rules: Sequence[Rule]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Merge per-file analyses and run the whole-program rules.
+
+    This is the single merge point for the serial, parallel, and cached
+    drivers, which is what makes their outputs byte-identical: however
+    an analysis record was produced, the project rules see the same
+    facts and the same deterministic ordering.
+    """
+    ordered = sorted(analyses, key=lambda a: a.rel)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for analysis in ordered:
+        findings.extend(analysis.findings)
+        suppressed.extend(analysis.suppressed)
+
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    if project_rules:
+        index = ProjectIndex.from_facts(
+            [a.facts for a in ordered if a.facts is not None]
+        )
+        noqa_by_rel = {a.rel: a.noqa for a in ordered}
+        for rule in project_rules:
+            for finding in rule.check_project(index):
+                noqa = noqa_by_rel.get(finding.path, {})
+                if _noqa_covers(noqa, finding):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, suppressed
+
+
 def run_rules(
     files: Sequence[SourceFile],
     rules: Sequence[Rule],
@@ -261,42 +436,4 @@ def run_rules(
     Returns ``(findings, suppressed)``; baseline filtering happens in
     the caller so ``--update-baseline`` sees the raw set.
     """
-    findings: List[Finding] = []
-    suppressed: List[Finding] = []
-    by_rel = {src.rel: src for src in files}
-
-    def deliver(finding: Finding) -> None:
-        src = by_rel.get(finding.path)
-        if src is not None and src.suppressed(finding):
-            suppressed.append(finding)
-        else:
-            findings.append(finding)
-
-    for src in files:
-        if src.tree is None:
-            assert src.syntax_error is not None
-            findings.append(Finding(
-                rule="REP001",
-                severity="error",
-                path=src.rel,
-                line=src.syntax_error.lineno or 1,
-                col=(src.syntax_error.offset or 0) + 1,
-                message=f"syntax error: {src.syntax_error.msg}",
-            ))
-            continue
-        for rule in rules:
-            if isinstance(rule, ProjectRule) or not rule.applies_to(src):
-                continue
-            for finding in rule.check_file(src):
-                deliver(finding)
-
-    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
-    if project_rules:
-        index = ProjectIndex(files)
-        for rule in project_rules:
-            for finding in rule.check_project(index):
-                deliver(finding)
-
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, suppressed
+    return finish_run([analyze_file(src, rules) for src in files], rules)

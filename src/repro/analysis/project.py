@@ -1,26 +1,43 @@
-"""Cross-file facts the contract rules check against.
+"""Cross-file facts the contract and whole-program rules check against.
 
-The index is built once per lint run over every target file.  It
-records, with locations:
+Per-file extraction produces a :class:`FileFacts` record — plain,
+JSON-serializable data covering everything the project-level rules need:
 
-* every literal-topic ``<obj>.emit("topic", key=value, ...)`` call site
-  (plus any dynamic-topic emit, which defeats static checking);
-* every literal-topic ``<obj>.on("topic", callback)`` subscription —
-  the registry the emit sites are cross-checked against;
-* the field list of the ``SessionResult`` dataclass (order and
-  annotations), from which the cache-schema fingerprint is computed;
-* module-level ``SCHEMA_VERSION`` / ``SCHEMA_FINGERPRINT`` constants.
+* every literal-topic ``emit("topic", ...)``/``on("topic", cb)`` site
+  (REP201–REP203) plus the payload *shapes* and handler signatures the
+  schema-inference pass types against (REP220-series);
+* module-level ``SCHEMA_VERSION``/``SCHEMA_FINGERPRINT`` constants and
+  the ``SessionResult`` field list (REP204);
+* per-function call sites and taint summaries feeding the
+  interprocedural determinism pass (REP120-series);
+* class field shapes and process-boundary submission sites feeding the
+  pickle-escape pass (REP130).
 
-Everything here is syntactic: no imports are executed, so the linter
-can run on broken or dependency-free checkouts.
+Because ``FileFacts`` round-trips through JSON, the analysis cache can
+persist it per file and a later run can rebuild the whole
+:class:`ProjectIndex` — including the call graph — without reparsing
+unchanged files.  Everything is syntactic: no imports are executed, so
+the linter runs on broken or dependency-free checkouts.
 """
 
 from __future__ import annotations
 
 import ast
 import hashlib
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple,
+)
+
+from .callgraph import CallGraph, FunctionInfo, module_name
+from .dataflow import (
+    ClassShape, PickleEscape, SubmitSite, TaintAnalysis,
+    extract_classes, extract_submit_sites,
+)
+from .schema_infer import (
+    EmitShape, HandlerShape, SchemaModel, SubscriptionShape,
+    extract_schema_facts,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from .engine import SourceFile
@@ -37,6 +54,21 @@ class TopicSite:
     #: Keyword names passed alongside the topic (emit payload keys).
     payload_keys: Tuple[str, ...] = ()
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "topic": self.topic, "path": self.path,
+            "line": self.line, "col": self.col,
+            "payload_keys": list(self.payload_keys),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TopicSite":
+        return cls(
+            topic=data["topic"], path=data["path"],
+            line=data["line"], col=data["col"],
+            payload_keys=tuple(data["payload_keys"]),
+        )
+
 
 @dataclass(frozen=True)
 class ConstantSite:
@@ -46,6 +78,19 @@ class ConstantSite:
     value: object
     path: str
     line: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "value": self.value,
+            "path": self.path, "line": self.line,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ConstantSite":
+        return cls(
+            name=data["name"], value=data["value"],
+            path=data["path"], line=data["line"],
+        )
 
 
 def session_result_fingerprint(fields: Sequence[Tuple[str, str]]) -> str:
@@ -60,10 +105,183 @@ def session_result_fingerprint(fields: Sequence[Tuple[str, str]]) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
+@dataclass
+class FileFacts:
+    """Everything the project rules need from one file, as plain data."""
+
+    rel: str
+    module: str
+    emits: List[TopicSite] = field(default_factory=list)
+    subscriptions: List[TopicSite] = field(default_factory=list)
+    dynamic_topics: List[TopicSite] = field(default_factory=list)
+    constants: List[ConstantSite] = field(default_factory=list)
+    session_result_fields: Optional[List[Tuple[str, str]]] = None
+    session_result_line: Optional[int] = None
+    functions: List[FunctionInfo] = field(default_factory=list)
+    emit_shapes: List[EmitShape] = field(default_factory=list)
+    sub_shapes: List[SubscriptionShape] = field(default_factory=list)
+    handlers: List[HandlerShape] = field(default_factory=list)
+    classes: List[ClassShape] = field(default_factory=list)
+    submit_sites: List[SubmitSite] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rel": self.rel,
+            "module": self.module,
+            "emits": [s.to_dict() for s in self.emits],
+            "subscriptions": [s.to_dict() for s in self.subscriptions],
+            "dynamic_topics": [s.to_dict() for s in self.dynamic_topics],
+            "constants": [s.to_dict() for s in self.constants],
+            "session_result_fields": (
+                [list(f) for f in self.session_result_fields]
+                if self.session_result_fields is not None else None
+            ),
+            "session_result_line": self.session_result_line,
+            "functions": [f.to_dict() for f in self.functions],
+            "emit_shapes": [s.to_dict() for s in self.emit_shapes],
+            "sub_shapes": [s.to_dict() for s in self.sub_shapes],
+            "handlers": [h.to_dict() for h in self.handlers],
+            "classes": [c.to_dict() for c in self.classes],
+            "submit_sites": [s.to_dict() for s in self.submit_sites],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FileFacts":
+        fields_raw = data["session_result_fields"]
+        return cls(
+            rel=data["rel"],
+            module=data["module"],
+            emits=[TopicSite.from_dict(s) for s in data["emits"]],
+            subscriptions=[
+                TopicSite.from_dict(s) for s in data["subscriptions"]
+            ],
+            dynamic_topics=[
+                TopicSite.from_dict(s) for s in data["dynamic_topics"]
+            ],
+            constants=[ConstantSite.from_dict(s) for s in data["constants"]],
+            session_result_fields=(
+                [(f[0], f[1]) for f in fields_raw]
+                if fields_raw is not None else None
+            ),
+            session_result_line=data["session_result_line"],
+            functions=[FunctionInfo.from_dict(f) for f in data["functions"]],
+            emit_shapes=[EmitShape.from_dict(s) for s in data["emit_shapes"]],
+            sub_shapes=[
+                SubscriptionShape.from_dict(s) for s in data["sub_shapes"]
+            ],
+            handlers=[HandlerShape.from_dict(h) for h in data["handlers"]],
+            classes=[ClassShape.from_dict(c) for c in data["classes"]],
+            submit_sites=[
+                SubmitSite.from_dict(s) for s in data["submit_sites"]
+            ],
+        )
+
+
+def extract_file_facts(rel: str, tree: ast.AST) -> FileFacts:
+    """Run every per-file extraction pass over one parsed module."""
+    from .callgraph import extract_functions
+
+    module = module_name(rel)
+    facts = FileFacts(rel=rel, module=module)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            _scan_call(facts, node)
+        elif isinstance(node, ast.ClassDef) and node.name == "SessionResult":
+            fields: List[Tuple[str, str]] = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name):
+                    fields.append(
+                        (stmt.target.id, ast.unparse(stmt.annotation))
+                    )
+            facts.session_result_fields = fields
+            facts.session_result_line = node.lineno
+        elif isinstance(node, ast.Assign):
+            _scan_assign(facts, node)
+    facts.functions = extract_functions(tree, module, rel)
+    facts.emit_shapes, facts.sub_shapes, facts.handlers = (
+        extract_schema_facts(tree, module)
+    )
+    facts.classes = extract_classes(tree, module)
+    facts.submit_sites = extract_submit_sites(tree, module)
+    return facts
+
+
+def _scan_call(facts: FileFacts, node: ast.Call) -> None:
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in ("emit", "on"):
+        return
+    if not node.args:
+        return
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        site = TopicSite(
+            topic=first.value,
+            path=facts.rel,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            payload_keys=tuple(
+                kw.arg for kw in node.keywords if kw.arg is not None
+            ),
+        )
+        if func.attr == "emit":
+            facts.emits.append(site)
+        else:
+            # Require the (topic, callback) shape so unrelated .on()
+            # APIs (e.g. event-emitter libraries) are not swept in.
+            if len(node.args) == 2:
+                facts.subscriptions.append(site)
+    elif func.attr == "emit":
+        facts.dynamic_topics.append(TopicSite(
+            topic="<dynamic>",
+            path=facts.rel,
+            line=node.lineno,
+            col=node.col_offset + 1,
+        ))
+
+
+def _scan_assign(facts: FileFacts, node: ast.Assign) -> None:
+    for target in node.targets:
+        if isinstance(target, ast.Name) and target.id in (
+            "SCHEMA_VERSION", "SCHEMA_FINGERPRINT"
+        ):
+            value: object = None
+            if isinstance(node.value, ast.Constant):
+                value = node.value.value
+            facts.constants.append(ConstantSite(
+                name=target.id,
+                value=value,
+                path=facts.rel,
+                line=node.lineno,
+            ))
+
+
 class ProjectIndex:
-    """Facts extracted from every file in the lint target set."""
+    """Facts extracted from every file in the lint target set.
+
+    Builds either directly from parsed :class:`SourceFile` objects or —
+    via :meth:`from_facts` — from cached :class:`FileFacts` records.
+    The heavyweight whole-program models (call graph, taint closure,
+    schema model, escape analysis) are constructed lazily so rule
+    subsets that never touch them pay nothing.
+    """
 
     def __init__(self, files: Sequence["SourceFile"]) -> None:
+        facts = [
+            extract_file_facts(src.rel, src.tree)
+            for src in files if src.tree is not None
+        ]
+        self._init_from_facts(facts)
+
+    @classmethod
+    def from_facts(cls, facts: Sequence[FileFacts]) -> "ProjectIndex":
+        index = cls.__new__(cls)
+        index._init_from_facts(list(facts))
+        return index
+
+    def _init_from_facts(self, facts: Sequence[FileFacts]) -> None:
+        ordered = sorted(facts, key=lambda f: f.rel)
+        self.facts: Dict[str, FileFacts] = {f.rel: f for f in ordered}
         self.emits: List[TopicSite] = []
         self.subscriptions: List[TopicSite] = []
         self.dynamic_topics: List[TopicSite] = []
@@ -71,74 +289,64 @@ class ProjectIndex:
         #: Ordered (name, annotation) pairs of the SessionResult fields.
         self.session_result_fields: Optional[List[Tuple[str, str]]] = None
         self.session_result_site: Optional[Tuple[str, int]] = None
-        for src in files:
-            if src.tree is not None:
-                self._scan(src)
+        #: Dotted module name -> relative path (for model findings).
+        self.module_paths: Dict[str, str] = {}
+        for f in ordered:
+            self.emits.extend(f.emits)
+            self.subscriptions.extend(f.subscriptions)
+            self.dynamic_topics.extend(f.dynamic_topics)
+            for site in f.constants:
+                self.constants.setdefault(site.name, []).append(site)
+            if f.session_result_fields is not None:
+                self.session_result_fields = f.session_result_fields
+                self.session_result_site = (f.rel, f.session_result_line or 1)
+            self.module_paths[f.module] = f.rel
+        self._call_graph: Optional[CallGraph] = None
+        self._taint: Optional[TaintAnalysis] = None
+        self._schema: Optional[SchemaModel] = None
+        self._escape: Optional[PickleEscape] = None
 
-    # ------------------------------------------------------------------
-    def _scan(self, src: "SourceFile") -> None:
-        for node in ast.walk(src.tree):
-            if isinstance(node, ast.Call):
-                self._scan_call(src, node)
-            elif isinstance(node, ast.ClassDef) and node.name == "SessionResult":
-                self._scan_session_result(src, node)
-            elif isinstance(node, ast.Assign):
-                self._scan_assign(src, node)
+    # -- lazy whole-program models --------------------------------------
+    @property
+    def call_graph(self) -> CallGraph:
+        if self._call_graph is None:
+            self._call_graph = CallGraph({
+                rel: f.functions for rel, f in self.facts.items()
+            })
+        return self._call_graph
 
-    def _scan_call(self, src: "SourceFile", node: ast.Call) -> None:
-        func = node.func
-        if not isinstance(func, ast.Attribute) or func.attr not in ("emit", "on"):
-            return
-        if not node.args:
-            return
-        first = node.args[0]
-        if isinstance(first, ast.Constant) and isinstance(first.value, str):
-            site = TopicSite(
-                topic=first.value,
-                path=src.rel,
-                line=node.lineno,
-                col=node.col_offset + 1,
-                payload_keys=tuple(
-                    kw.arg for kw in node.keywords if kw.arg is not None
-                ),
+    @property
+    def taint(self) -> TaintAnalysis:
+        if self._taint is None:
+            self._taint = TaintAnalysis(self.call_graph)
+        return self._taint
+
+    @property
+    def schema(self) -> SchemaModel:
+        if self._schema is None:
+            self._schema = SchemaModel(
+                emits=[s for f in self.facts.values() for s in f.emit_shapes],
+                subscriptions=[
+                    s for f in self.facts.values() for s in f.sub_shapes
+                ],
+                handlers=[h for f in self.facts.values() for h in f.handlers],
             )
-            if func.attr == "emit":
-                self.emits.append(site)
-            else:
-                # Require the (topic, callback) shape so unrelated .on()
-                # APIs (e.g. event-emitter libraries) are not swept in.
-                if len(node.args) == 2:
-                    self.subscriptions.append(site)
-        elif func.attr == "emit":
-            self.dynamic_topics.append(TopicSite(
-                topic="<dynamic>",
-                path=src.rel,
-                line=node.lineno,
-                col=node.col_offset + 1,
-            ))
+        return self._schema
 
-    def _scan_session_result(self, src: "SourceFile", node: ast.ClassDef) -> None:
-        fields: List[Tuple[str, str]] = []
-        for stmt in node.body:
-            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
-                fields.append((stmt.target.id, ast.unparse(stmt.annotation)))
-        self.session_result_fields = fields
-        self.session_result_site = (src.rel, node.lineno)
+    @property
+    def escape(self) -> PickleEscape:
+        if self._escape is None:
+            self._escape = PickleEscape(
+                classes=[c for f in self.facts.values() for c in f.classes],
+                submit_sites=[
+                    s for f in self.facts.values() for s in f.submit_sites
+                ],
+                functions=self.call_graph.functions,
+            )
+        return self._escape
 
-    def _scan_assign(self, src: "SourceFile", node: ast.Assign) -> None:
-        for target in node.targets:
-            if isinstance(target, ast.Name) and target.id in (
-                "SCHEMA_VERSION", "SCHEMA_FINGERPRINT"
-            ):
-                value: object = None
-                if isinstance(node.value, ast.Constant):
-                    value = node.value.value
-                self.constants.setdefault(target.id, []).append(ConstantSite(
-                    name=target.id,
-                    value=value,
-                    path=src.rel,
-                    line=node.lineno,
-                ))
+    def path_of_module(self, module: str) -> Optional[str]:
+        return self.module_paths.get(module)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,59 @@
+"""Pickle-boundary escape analysis rule (REP130).
+
+``run_jobs``/``run_sessions`` ship their payloads to worker processes
+through pickle.  A payload class that transitively carries a live
+handle — an open file, a ``Simulator``, a ``TemporaryDirectory``, an
+executor, a lock — either fails to pickle at submission time (the lucky
+case) or pickles a *copy* whose state silently forks from the parent's
+(the case that corrupts sweeps without an error).  REP205 catches
+closures over unpicklable locals; this rule proves the *data* side:
+every class constructed at (or flowing into) a submission site is
+walked field-by-field, following project-class annotations
+transitively, and any banned handle type is reported with its full
+field path.
+
+Payload resolution understands directly-constructed payloads
+(``run_jobs([Job(...) for ...], ...)``), payload variables, and factory
+helpers via their return annotations (``grid = build_grid(...)`` where
+``build_grid() -> List[ArenaJob]``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from ..engine import Finding, ProjectRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..project import ProjectIndex
+
+
+class PickleEscapeRule(ProjectRule):
+    id = "REP130"
+    title = "live handle crosses the process-pool pickle boundary"
+    rationale = (
+        "Payloads submitted to run_jobs/run_sessions/Executor.submit "
+        "are pickled into worker processes; a field holding an open "
+        "file, engine, lock, executor, or temp dir either fails to "
+        "pickle or forks its state silently. Ship plain data and "
+        "rebuild handles on the worker side."
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for escape in index.escape.findings():
+            path = index.path_of_module(escape.module)
+            if path is None:
+                continue
+            findings.append(Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=path,
+                line=escape.line,
+                col=escape.col,
+                message=escape.message(),
+            ))
+        return findings
+
+
+BOUNDARY_RULES = (PickleEscapeRule,)

@@ -1,0 +1,237 @@
+"""Emit-bus payload schema rules (REP220-series).
+
+REP201–REP203 check that emit/subscribe *topic names* agree across the
+project.  These rules check the *payload shape*: the union of keyword
+shapes at every emit site of a topic, type-checked against what each
+subscriber's callback destructures.  The runtime contract is
+``callback(time=now, **payload)``, so:
+
+* a handler parameter without a default that some emit site does not
+  provide is a guaranteed ``TypeError`` when that site fires (REP220);
+* an emitted key a handler without ``**kwargs`` cannot accept is the
+  same crash from the other side (REP220);
+* a key every subscriber ignores is dead payload — usually a renamed
+  or half-removed field that analytics silently stopped seeing
+  (REP221);
+* a ``payload.get("k")`` or defaulted parameter no emit site provides
+  is a phantom read — typically a typo'd or renamed key that now
+  always misses (REP222).
+
+Handlers that consume their catch-all opaquely (iterate/forward/store
+it) read everything, so dead-key reasoning skips their topics instead
+of guessing.  Catch-all-only handlers (``**_payload``, never touched)
+express no shape opinion and are exempt from shape checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple
+
+from ..engine import Finding, ProjectRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..project import ProjectIndex
+    from ..schema_infer import LinkedSubscriber, SchemaModel
+
+
+def _handler_label(sub: "LinkedSubscriber") -> str:
+    handler = sub.handler
+    assert handler is not None
+    if handler.ref == "<lambda>":
+        return f"lambda subscriber in {sub.subscription.module}"
+    return f"handler {handler.ref} in {handler.module}"
+
+
+class _SchemaRuleBase(ProjectRule):
+    """Shared site-to-path plumbing for the schema rules."""
+
+    def _finding(
+        self,
+        index: "ProjectIndex",
+        module: str,
+        line: int,
+        col: int,
+        message: str,
+        seen: Set[Tuple[str, str]],
+    ) -> Optional[Finding]:
+        path = index.path_of_module(module)
+        if path is None:
+            return None
+        # One finding per (path, message): two identical mismatches in
+        # one file collapse to the first location.
+        if (path, message) in seen:
+            return None
+        seen.add((path, message))
+        return Finding(
+            rule=self.id, severity=self.severity,
+            path=path, line=line, col=col, message=message,
+        )
+
+
+class EmitShapeMismatchRule(_SchemaRuleBase):
+    id = "REP220"
+    title = "emit payload shape mismatches a subscriber's signature"
+    rationale = (
+        "The bus calls callback(time=now, **payload). A required "
+        "handler parameter missing from an emit site — or an emitted "
+        "key a handler without **kwargs cannot accept — raises "
+        "TypeError the moment that site fires under tracing."
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterable[Finding]:
+        schema: "SchemaModel" = index.schema
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, str]] = set()
+
+        def add(module: str, line: int, col: int, message: str) -> None:
+            finding = self._finding(index, module, line, col, message, seen)
+            if finding is not None:
+                findings.append(finding)
+
+        for topic in schema.topics():
+            sites = schema.emit_sites(topic)
+            subscribers = schema.topic_subscribers(topic)
+            if not sites or not subscribers:
+                continue  # orphan topics are REP201/REP202 territory
+            for linked in subscribers:
+                handler = linked.handler
+                if handler is None:
+                    continue
+                sub = linked.subscription
+                accepts_kwargs = handler.kwargs_name is not None
+                if "time" not in handler.param_names() and not accepts_kwargs:
+                    add(
+                        sub.module, sub.line, sub.col,
+                        f"{_handler_label(linked)} subscribes to "
+                        f"'{topic}' but accepts neither a 'time' "
+                        "parameter nor **kwargs; the bus always injects "
+                        "time=now",
+                    )
+                for site in sites:
+                    provided = set(site.keys) | {"time"}
+                    if not site.splat:
+                        for key in handler.required_names():
+                            if key not in provided:
+                                emitted = ", ".join(site.keys) or "none"
+                                add(
+                                    sub.module, sub.line, sub.col,
+                                    f"{_handler_label(linked)} requires "
+                                    f"payload key '{key}' of topic "
+                                    f"'{topic}', but the emit site in "
+                                    f"{site.module} provides only: "
+                                    f"{emitted}",
+                                )
+                    if not accepts_kwargs:
+                        accepted = set(handler.param_names())
+                        for key in site.keys:
+                            if key not in accepted:
+                                add(
+                                    site.module, site.line, site.col,
+                                    f"emit('{topic}') passes key "
+                                    f"'{key}' that {_handler_label(linked)} "
+                                    "cannot accept (no **kwargs) — "
+                                    "TypeError when this site fires",
+                                )
+        return findings
+
+
+class DeadPayloadKeyRule(_SchemaRuleBase):
+    id = "REP221"
+    title = "emitted payload key is read by no subscriber"
+    rationale = (
+        "A key every subscriber ignores is usually a renamed or "
+        "half-removed field: the emitter still pays to compute it and "
+        "analytics silently stopped seeing it. Remove the key or "
+        "consume it."
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterable[Finding]:
+        schema: "SchemaModel" = index.schema
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, str]] = set()
+        for topic in schema.topics():
+            sites = schema.emit_sites(topic)
+            subscribers = schema.topic_subscribers(topic)
+            if not sites or not subscribers:
+                continue
+            handlers = [s.handler for s in subscribers]
+            if any(h is None for h in handlers):
+                continue  # an unresolved callback may read anything
+            if any(h.opaque for h in handlers if h is not None):
+                continue  # catch-all consumed wholesale: reads all keys
+            readers: Set[str] = set()
+            names_keys = False
+            for handler in handlers:
+                assert handler is not None
+                readers.update(handler.read_keys())
+                names_keys = names_keys or handler.names_payload_keys()
+            if not names_keys:
+                continue  # catch-all-ignore subscribers: no shape opinion
+            for site in sites:
+                for key in site.keys:
+                    if key not in readers:
+                        read_list = ", ".join(sorted(readers)) or "none"
+                        message = (
+                            f"payload key '{key}' of topic '{topic}' is "
+                            "read by no subscriber (keys subscribers "
+                            f"read: {read_list})"
+                        )
+                        finding = self._finding(
+                            index, site.module, site.line, site.col,
+                            message, seen,
+                        )
+                        if finding is not None:
+                            findings.append(finding)
+        return findings
+
+
+class PhantomPayloadKeyRule(_SchemaRuleBase):
+    id = "REP222"
+    title = "subscriber reads a payload key no emit site provides"
+    rationale = (
+        "payload.get('k') or a defaulted parameter that no emit site "
+        "of the topic ever provides always takes the default — "
+        "typically a typo'd or renamed key drifting from the emitters."
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterable[Finding]:
+        schema: "SchemaModel" = index.schema
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, str]] = set()
+        for topic in schema.topics():
+            sites = schema.emit_sites(topic)
+            if not sites or schema.has_splat_emit(topic):
+                continue  # splat emits have statically-unknown keys
+            union = set(schema.union_keys(topic)) | {"time"}
+            for linked in schema.topic_subscribers(topic):
+                handler = linked.handler
+                if handler is None:
+                    continue
+                sub = linked.subscription
+                optional_reads = list(handler.gets)
+                optional_reads.extend(
+                    name for name, has_default in handler.params
+                    if has_default and name != "time"
+                )
+                for key in optional_reads:
+                    if key not in union:
+                        provided = ", ".join(sorted(union - {"time"})) or "none"
+                        message = (
+                            f"{_handler_label(linked)} reads payload key "
+                            f"'{key}' of topic '{topic}', but no emit "
+                            f"site provides it (emitted keys: {provided})"
+                        )
+                        finding = self._finding(
+                            index, sub.module, sub.line, sub.col,
+                            message, seen,
+                        )
+                        if finding is not None:
+                            findings.append(finding)
+        return findings
+
+
+SCHEMA_RULES = (
+    EmitShapeMismatchRule,
+    DeadPayloadKeyRule,
+    PhantomPayloadKeyRule,
+)

@@ -1,0 +1,114 @@
+"""Interprocedural determinism-taint rules (REP120-series).
+
+REP101/REP102/REP104 flag a wall-clock read, an unseeded draw, or a set
+iteration *where it happens*.  These rules flag where such a value
+*lands*: a tainted value flowing — through any call depth — into a
+seed, a content-address/cache key, a sweep-journal record, or an
+``emit()`` payload.  That is the project's actual invariant: the repro
+promises bit-identical replays across serial/parallel/cache/resume, and
+every one of those channels is keyed or replayed from exactly these
+sinks.
+
+The heavy lifting happens in :mod:`repro.analysis.dataflow`; each rule
+here selects one taint source kind from the shared whole-program
+analysis (which runs once per lint, lazily, via the project index) and
+renders findings.  Witness chains are part of the message, so a finding
+reads like::
+
+    value derived from wall-clock time flows into derive_seed()
+    argument 1 (via _mix() -> _entropy())
+
+The analyzer's own package is excluded: the linter hashes file contents
+and findings by design, and those digests never feed simulation state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Iterable, List
+
+from ..dataflow import KIND_ENV, KIND_RNG, KIND_SETORDER, KIND_WALLCLOCK
+from ..engine import Finding, ProjectRule, scope_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..project import ProjectIndex
+
+#: Scopes whose files are never flagged by the taint rules.
+EXCLUDED_SCOPES: FrozenSet[str] = frozenset({"analysis"})
+
+
+class _TaintRuleBase(ProjectRule):
+    """One rule per taint source kind, sharing the global analysis."""
+
+    source_kind: str = ""
+
+    def check_project(self, index: "ProjectIndex") -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for taint in index.taint.findings():
+            if taint.source != self.source_kind:
+                continue
+            path = index.path_of_module(taint.module)
+            if path is None:
+                continue
+            if scope_key(path) in EXCLUDED_SCOPES:
+                continue
+            findings.append(Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=path,
+                line=taint.line,
+                col=taint.col,
+                message=taint.message(),
+            ))
+        return findings
+
+
+class WallClockTaintRule(_TaintRuleBase):
+    id = "REP120"
+    title = "wall-clock value reaches a determinism sink"
+    rationale = (
+        "A seed, cache key, journal record, or emit payload derived from "
+        "time.time()/datetime.now() — at any call depth — makes replays, "
+        "cache hits, and resumed sweeps diverge between runs."
+    )
+    source_kind = KIND_WALLCLOCK
+
+
+class UnseededRandomTaintRule(_TaintRuleBase):
+    id = "REP121"
+    title = "unseeded randomness reaches a determinism sink"
+    rationale = (
+        "Module-level random draws, os.urandom, and uuid4 are not "
+        "derived from the run's master seed; feeding them into seeds or "
+        "content addresses silently forks the replay universe."
+    )
+    source_kind = KIND_RNG
+
+
+class EnvironTaintRule(_TaintRuleBase):
+    id = "REP122"
+    title = "os.environ value reaches a determinism sink"
+    rationale = (
+        "Environment variables differ across machines and CI runs; a "
+        "seed or cache key derived from one makes results "
+        "irreproducible without reconstructing the exact environment."
+    )
+    source_kind = KIND_ENV
+
+
+class SetOrderTaintRule(_TaintRuleBase):
+    id = "REP123"
+    title = "set iteration order reaches a determinism sink"
+    rationale = (
+        "Set iteration order varies with PYTHONHASHSEED; a key, seed, "
+        "or journal record derived from it differs between processes. "
+        "sorted(...) the set before it reaches the sink."
+    )
+    source_kind = KIND_SETORDER
+
+
+TAINT_RULES = (
+    WallClockTaintRule,
+    UnseededRandomTaintRule,
+    EnvironTaintRule,
+    SetOrderTaintRule,
+)

@@ -1,7 +1,8 @@
 """Strict-typing gate rules for the mypy-strict packages.
 
 ``mypy --strict`` is the authoritative gate for ``repro.sim``,
-``repro.validate``, and ``repro.experiments`` (see ``[tool.mypy]`` in
+``repro.validate``, ``repro.experiments``, ``repro.arena``, and
+``repro.study`` (see ``[tool.mypy]`` in
 ``pyproject.toml`` and the CI ``typing`` job), but mypy is not always
 installed in minimal dev containers.  These rules enforce the two
 highest-signal strict requirements natively, so ``repro lint`` alone
@@ -22,7 +23,9 @@ from typing import FrozenSet, Iterable, List, Tuple
 from ..engine import Finding, Rule, SourceFile
 
 #: Packages held to mypy --strict.
-TYPED_SCOPE: FrozenSet[str] = frozenset({"sim", "validate", "experiments"})
+TYPED_SCOPE: FrozenSet[str] = frozenset(
+    {"sim", "validate", "experiments", "arena", "study"}
+)
 
 _BARE_IGNORE_RE = re.compile(r"#\s*type:\s*ignore(?!\[)")
 

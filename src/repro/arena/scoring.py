@@ -35,9 +35,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..video.encoding import BITRATE_LADDER_KBPS, RESOLUTION_ORDER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..video.player import SessionResult
 from .trace import ArenaTrace
 
 #: Perceptual-quality log anchors: the ladder's cheapest and dearest rungs.
@@ -87,7 +90,9 @@ class SessionMetrics:
     crash_time_s: Optional[float]
 
 
-def metrics_from(result, trace: Optional[ArenaTrace] = None) -> SessionMetrics:
+def metrics_from(
+    result: "SessionResult", trace: Optional[ArenaTrace] = None
+) -> SessionMetrics:
     """Project a :class:`SessionResult` (+ optional trace) to metrics.
 
     Without a trace the two trace-only quantities degrade safely:

@@ -22,11 +22,14 @@ oracle).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..kernel.pressure import MemoryPressureLevel
 from ..sim.clock import Time, to_seconds
 from ..sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..video.pipeline import VideoPipeline
 
 #: A render-to-render gap beyond this many nominal frame periods is a
 #: freeze (the threshold webrtc stats use is ~150 ms; two periods keeps
@@ -79,14 +82,17 @@ class TraceCollector:
         sim.on("pressure.state", self._on_pressure)
 
     # ------------------------------------------------------------------
-    def _on_frame(self, time: Time, phase: str, pipeline, **payload) -> None:
+    def _on_frame(
+        self, time: Time, phase: str, pipeline: "VideoPipeline",
+        **payload: object,
+    ) -> None:
         if phase != "render" or payload.get("late"):
             return
         self._render_times.append(time)
         self._render_periods.append(pipeline.period)
 
     def _on_pressure(
-        self, time: Time, level: MemoryPressureLevel, **payload
+        self, time: Time, level: MemoryPressureLevel, **payload: object,
     ) -> None:
         self._transitions.append((time, level))
 

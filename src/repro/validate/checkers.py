@@ -359,6 +359,12 @@ class VideoPipelineChecker(Checker):
                 f"{phase}: in-flight frame count went negative "
                 f"({in_flight}) — a frame rendered before its decode"
             )
+        if phase == "skip":
+            skipped = _payload.get("count")
+            if not isinstance(skipped, int) or skipped < 1:
+                self.report(
+                    f"skip event with non-positive batch size ({skipped!r})"
+                )
         stats = pipeline.stats
         expected = stats.frames_rendered + stats.frames_dropped + in_flight
         if stats.frames_processed != expected:

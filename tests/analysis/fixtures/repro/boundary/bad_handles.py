@@ -1,0 +1,32 @@
+"""REP130 bad fixture: a payload drags a TemporaryDirectory across the
+pickle boundary, one level of nesting down."""
+
+from dataclasses import dataclass
+from tempfile import TemporaryDirectory
+
+from repro.experiments.parallel import run_jobs
+
+
+@dataclass
+class Workspace:
+    root: str
+    scratch: TemporaryDirectory
+
+
+@dataclass
+class RenderJob:
+    frame: int
+    workspace: Workspace
+
+
+def _workspace() -> Workspace:
+    return Workspace(root="/tmp/render", scratch=TemporaryDirectory())
+
+
+def _render(job: RenderJob) -> int:
+    return job.frame
+
+
+def submit_all(frames):
+    jobs = [RenderJob(frame=i, workspace=_workspace()) for i in frames]
+    return run_jobs(jobs, _render)

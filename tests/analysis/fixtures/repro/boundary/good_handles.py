@@ -1,0 +1,24 @@
+"""REP130 good fixture: plain-data payload; handles rebuilt worker-side."""
+
+from dataclasses import dataclass
+
+from repro.experiments.parallel import run_jobs
+
+
+@dataclass
+class CleanJob:
+    frame: int
+    device: str
+    scratch_root: str
+
+
+def _render(job: CleanJob) -> int:
+    return job.frame
+
+
+def submit_all(frames):
+    jobs = [
+        CleanJob(frame=i, device="nokia1", scratch_root="/tmp/render")
+        for i in frames
+    ]
+    return run_jobs(jobs, _render)

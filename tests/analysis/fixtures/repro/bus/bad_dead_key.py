@@ -1,0 +1,20 @@
+"""REP221 bad fixture: 'reserved' is emitted but no subscriber reads it."""
+
+
+class Decoder:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def finish(self, frame: int) -> None:
+        if self.sim.tracing:
+            self.sim.emit("decode.finished", frame=frame, queue_depth=2,
+                          reserved=1)
+
+
+class DecodeMonitor:
+    def __init__(self, sim):
+        self.depth = 0
+        sim.on("decode.finished", self._on_finished)
+
+    def _on_finished(self, time, frame, **payload):
+        self.depth = payload.get("queue_depth")

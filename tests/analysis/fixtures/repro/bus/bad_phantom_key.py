@@ -1,0 +1,22 @@
+"""REP222 bad fixture: the monitor reads 'vsync_missed', which no emit
+site of the topic provides — the .get() always takes the default."""
+
+
+class Renderer:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def present(self) -> None:
+        if self.sim.tracing:
+            self.sim.emit("render.presented", frame=1, late=False)
+
+
+class RenderMonitor:
+    def __init__(self, sim):
+        self.vsync = None
+        self.late = None
+        sim.on("render.presented", self._on_presented)
+
+    def _on_presented(self, time, frame, **payload):
+        self.vsync = payload.get("vsync_missed")
+        self.late = payload.get("late")

@@ -1,0 +1,12 @@
+"""REP220 bad fixture, emit side: provides 'frame_total' where the
+subscriber (in bad_shape_subscriber.py — another module) requires
+'frames' and takes no **kwargs."""
+
+
+class PipelineStage:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def advance(self) -> None:
+        if self.sim.tracing:
+            self.sim.emit("stage.complete", stage="decode", frame_total=3)

@@ -1,0 +1,12 @@
+"""REP220 bad fixture, subscriber side: requires 'frames', but the only
+emit site (bad_shape_emitter.py) sends 'frame_total' — TypeError on the
+first traced emit."""
+
+
+class StageMonitor:
+    def __init__(self, sim):
+        self.last = None
+        sim.on("stage.complete", self._on_complete)
+
+    def _on_complete(self, time, stage, frames):
+        self.last = (stage, frames)

@@ -1,0 +1,22 @@
+"""Schema-rule good fixture: emit shape and subscriber signature agree,
+every key is read, every read is provided."""
+
+
+class Heartbeat:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def beat(self, count: int) -> None:
+        if self.sim.tracing:
+            self.sim.emit("heartbeat.tick", count=count, healthy=True)
+
+
+class HeartbeatMonitor:
+    def __init__(self, sim):
+        self.count = 0
+        self.healthy = True
+        sim.on("heartbeat.tick", self._on_tick)
+
+    def _on_tick(self, time, count, healthy=True, **payload):
+        self.count = count
+        self.healthy = healthy

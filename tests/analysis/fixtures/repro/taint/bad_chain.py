@@ -1,0 +1,14 @@
+"""REP120 bad fixture: wall-clock reaches derive_seed() two calls deep.
+
+The taint enters in helpers.entropy_ns (another module), passes through
+helpers.mix and helpers.relay, and only here lands in a seed sink —
+no single function contains both the source and the sink.
+"""
+
+from repro.sim.rng import derive_seed
+
+from .helpers import relay
+
+
+def launch_session(label: str) -> int:
+    return derive_seed(relay(7), label)

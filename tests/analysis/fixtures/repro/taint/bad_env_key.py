@@ -1,0 +1,10 @@
+"""REP122 bad fixture: an environment variable lands in a cache key."""
+
+import os
+
+from repro.experiments.parallel import cache_key
+
+
+def job_identity(spec) -> str:
+    salt = os.environ.get("REPRO_SALT", "")
+    return cache_key((spec, salt))

@@ -1,0 +1,7 @@
+"""REP121 bad fixture: module-level RNG draw flows into a seed kwarg."""
+
+import random
+
+
+def reseed(streams) -> None:
+    streams.configure(seed=random.randrange(1 << 16))

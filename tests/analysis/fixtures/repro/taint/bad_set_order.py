@@ -1,0 +1,7 @@
+"""REP123 bad fixture: set iteration order reaches the sweep journal."""
+
+
+def journal_batch(journal, results) -> None:
+    pending = {result.name for result in results}
+    for name in list(pending):
+        journal.record(name, 1)

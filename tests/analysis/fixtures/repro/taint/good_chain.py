@@ -1,0 +1,7 @@
+"""REP120 good fixture: seeds derived only from the master seed."""
+
+from repro.sim.rng import derive_seed
+
+
+def launch_session(master_seed: int, label: str) -> int:
+    return derive_seed(master_seed, label)

@@ -1,0 +1,8 @@
+"""REP122 good fixture: env vars steer *where* output goes, never what
+is keyed or recorded."""
+
+import os
+
+
+def log_dir() -> str:
+    return os.environ.get("REPRO_LOG_DIR", "/tmp/repro-logs")

@@ -1,0 +1,5 @@
+"""REP121 good fixture: seeds flow from the caller's master seed."""
+
+
+def reseed(streams, master_seed: int) -> None:
+    streams.configure(seed=master_seed)

@@ -1,0 +1,7 @@
+"""REP123 good fixture: sorted() pins the order before the journal."""
+
+
+def journal_batch(journal, results) -> None:
+    pending = {result.name for result in results}
+    for name in sorted(pending):
+        journal.record(name, 1)

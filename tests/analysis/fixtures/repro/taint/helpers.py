@@ -1,0 +1,20 @@
+"""Support module for the taint fixtures.
+
+Clean on its own: it *produces* tainted values but never lands one in
+a sink.  The bad fixtures import from here so the REP12x findings
+require genuinely interprocedural, cross-module reasoning.
+"""
+
+import time
+
+
+def entropy_ns() -> int:
+    return time.time_ns()
+
+
+def mix(value: int) -> int:
+    return entropy_ns() ^ value
+
+
+def relay(value: int) -> int:
+    return mix(value)

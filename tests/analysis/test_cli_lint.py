@@ -1,4 +1,8 @@
-"""The `repro lint` CLI: exit codes, JSON output, baseline update."""
+"""The `repro lint` CLI: exit codes, JSON output, baseline update.
+
+CLI invocations here pass --no-cache: the default cache directory is
+relative to the cwd, and these tests chdir into the fixture tree.
+"""
 
 import json
 from pathlib import Path
@@ -10,12 +14,14 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 def test_exit_zero_on_clean_target(monkeypatch):
     monkeypatch.chdir(FIXTURES)
-    assert main(["repro/kernel/good_deterministic.py"]) == 0
+    assert main(["repro/kernel/good_deterministic.py", "--no-cache"]) == 0
 
 
 def test_exit_one_on_findings(monkeypatch):
     monkeypatch.chdir(FIXTURES)
-    assert main(["repro/kernel/bad_random.py", "--no-baseline"]) == 1
+    assert main(
+        ["repro/kernel/bad_random.py", "--no-baseline", "--no-cache"]
+    ) == 1
 
 
 def test_exit_two_on_missing_path(monkeypatch, tmp_path):
@@ -35,13 +41,16 @@ def test_rules_filter(monkeypatch):
     monkeypatch.chdir(FIXTURES)
     # bad_random violates REP102 only; filtering to REP101 passes it.
     assert main([
-        "repro/kernel/bad_random.py", "--no-baseline", "--rules", "REP101",
+        "repro/kernel/bad_random.py", "--no-baseline", "--no-cache",
+        "--rules", "REP101",
     ]) == 0
 
 
 def test_json_output(monkeypatch, capsys):
     monkeypatch.chdir(FIXTURES)
-    assert main(["repro/kernel/bad_random.py", "--no-baseline", "--json"]) == 1
+    assert main([
+        "repro/kernel/bad_random.py", "--no-baseline", "--no-cache", "--json",
+    ]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["ok"] is False
     assert payload["summary"]["new"] == len(payload["findings"])
@@ -53,12 +62,11 @@ def test_update_baseline_then_green(monkeypatch, tmp_path):
     monkeypatch.chdir(FIXTURES)
     baseline = tmp_path / "baseline.json"
     bad = "repro/kernel/bad_random.py"
-    assert main([bad, "--baseline", str(baseline), "--no-baseline"]) == 1
-    assert main([bad, "--baseline", str(baseline), "--update-baseline"]) == 0
+    common = ["--baseline", str(baseline), "--no-cache"]
+    assert main([bad, *common, "--no-baseline"]) == 1
+    assert main([bad, *common, "--update-baseline"]) == 0
     assert baseline.exists()
     # Grandfathered now: same findings no longer fail the run.
-    assert main([bad, "--baseline", str(baseline)]) == 0
+    assert main([bad, *common]) == 0
     # A new violation on top of the baseline still fails.
-    assert main([
-        bad, "repro/kernel/bad_hash.py", "--baseline", str(baseline),
-    ]) == 1
+    assert main([bad, "repro/kernel/bad_hash.py", *common]) == 1

@@ -1,0 +1,209 @@
+"""The production lint driver: cache, parallel fan-out, baseline merge.
+
+The contract under test: however a run is executed — serial, ``--jobs
+N``, cold cache, warm cache — the JSON report is byte-identical, and a
+warm cache re-analyzes zero unchanged files.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    load_baseline,
+    update_baseline,
+    write_baseline,
+)
+from repro.analysis.cli import main, run_lint
+from repro.analysis.engine import Finding
+from repro.analysis.reporters import render_json, render_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures"
+TARGET = FIXTURES / "repro"
+
+
+def lint(**kwargs):
+    return run_lint([TARGET], root=FIXTURES, use_baseline=False, **kwargs)
+
+
+def report_bytes(result):
+    return json.dumps(render_json(result), indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Parallel fan-out
+# ----------------------------------------------------------------------
+def test_parallel_report_is_byte_identical_to_serial():
+    serial = lint(jobs=1)
+    parallel = lint(jobs=4)
+    assert report_bytes(serial) == report_bytes(parallel)
+    assert serial.findings  # the fixture tree is not trivially empty
+
+
+# ----------------------------------------------------------------------
+# Content-addressed cache
+# ----------------------------------------------------------------------
+def test_warm_cache_reanalyzes_zero_files(tmp_path):
+    cache_dir = tmp_path / "cache"
+    uncached = lint()
+    cold = lint(cache_dir=cache_dir)
+    warm = lint(cache_dir=cache_dir)
+    assert cold.files_analyzed == cold.files_checked
+    assert cold.files_cached == 0
+    assert warm.files_analyzed == 0
+    assert warm.files_cached == warm.files_checked
+    # Cache state is reported in the summary but must never change the
+    # findings themselves.
+    for result in (cold, warm):
+        assert result.findings == uncached.findings
+        assert result.suppressed == uncached.suppressed
+
+
+def test_edited_file_is_reanalyzed(tmp_path):
+    cache_dir = tmp_path / "cache"
+    tree = tmp_path / "repro" / "kernel"
+    tree.mkdir(parents=True)
+    target = tree / "mod.py"
+    target.write_text("import time\n\ndef f():\n    return time.time()\n")
+
+    first = run_lint([tmp_path], root=tmp_path, use_baseline=False,
+                     cache_dir=cache_dir)
+    assert first.files_analyzed == 1 and [f.rule for f in first.findings] == ["REP101"]
+
+    warm = run_lint([tmp_path], root=tmp_path, use_baseline=False,
+                    cache_dir=cache_dir)
+    assert warm.files_analyzed == 0 and warm.files_cached == 1
+
+    target.write_text("def f():\n    return 0\n")
+    edited = run_lint([tmp_path], root=tmp_path, use_baseline=False,
+                      cache_dir=cache_dir)
+    assert edited.files_analyzed == 1
+    assert edited.findings == []
+
+
+def test_cache_is_keyed_on_rule_set(tmp_path):
+    cache_dir = tmp_path / "cache"
+    lint(cache_dir=cache_dir, only_rules=["REP101"])
+    full = lint(cache_dir=cache_dir)
+    # A --rules subset must not serve records to the full run.
+    assert full.files_cached == 0
+
+
+def test_corrupt_cache_entry_degrades_to_miss(tmp_path):
+    cache_dir = tmp_path / "cache"
+    first = lint(cache_dir=cache_dir)
+    for entry in cache_dir.glob("*.json"):
+        entry.write_text("{not json")
+    again = lint(cache_dir=cache_dir)
+    assert again.files_cached == 0
+    assert again.findings == first.findings
+
+
+# ----------------------------------------------------------------------
+# Baseline merge / prune
+# ----------------------------------------------------------------------
+def _finding(path, message, rule="REP102"):
+    return Finding(rule=rule, severity="error", path=path, line=1, col=1,
+                   message=message)
+
+
+def test_update_baseline_keeps_entries_outside_lint_scope(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    (tmp_path / "other").mkdir()
+    (tmp_path / "other" / "mod.py").write_text("x = 1\n")
+    outside = _finding("other/mod.py", "grandfathered elsewhere")
+    write_baseline([outside], baseline)
+
+    current = _finding("linted/mod.py", "fresh debt")
+    update = update_baseline(
+        [current], baseline, linted_rels={"linted/mod.py"}, root=tmp_path,
+    )
+    allowed = load_baseline(baseline)
+    assert allowed[outside.fingerprint] == 1  # survived a partial lint
+    assert allowed[current.fingerprint] == 1
+    assert update.kept_outside == 1
+    assert not update.shrank
+
+
+def test_update_baseline_prunes_deleted_files(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    dead = _finding("gone/mod.py", "debt for deleted code")
+    write_baseline([dead], baseline)
+
+    update = update_baseline([], baseline, linted_rels=set(), root=tmp_path)
+    assert update.pruned == ["gone/mod.py"]
+    assert update.shrank
+    assert load_baseline(baseline) == {}
+
+
+def test_update_baseline_replaces_linted_entries(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    old = _finding("pkg/mod.py", "fixed since")
+    write_baseline([old], baseline)
+
+    update = update_baseline(
+        [], baseline, linted_rels={"pkg/mod.py"}, root=tmp_path,
+    )
+    assert load_baseline(baseline) == {}
+    assert update.old_total == 1 and update.new_total == 0
+    assert update.shrank
+    assert update.pruned == []  # the file exists; its debt was paid
+
+
+def test_update_baseline_cli_warns_on_shrink_and_prunes(
+    tmp_path, capsys, monkeypatch
+):
+    monkeypatch.chdir(tmp_path)
+    tree = tmp_path / "repro" / "kernel"
+    tree.mkdir(parents=True)
+    doomed = tree / "doomed.py"
+    doomed.write_text("import time\n\ndef f():\n    return time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    common = ["--baseline", str(baseline), "--no-cache"]
+    assert main(["repro", *common, "--update-baseline"]) == 0
+    assert load_baseline(baseline)  # the wall-clock debt is recorded
+    capsys.readouterr()
+
+    # The file (and its debt) is deleted: the next update must prune
+    # its fingerprints and call out that the baseline shrank.
+    doomed.unlink()
+    assert main(["repro", *common, "--update-baseline"]) == 0
+    err = capsys.readouterr().err
+    assert "pruned" in err and "doomed.py" in err
+    assert "shrank" in err
+    assert load_baseline(baseline) == {}
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+def test_sarif_report_shape():
+    result = lint()
+    sarif = render_sarif(result)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert "REP001" in rule_ids
+    assert {r["ruleId"] for r in run["results"]} <= rule_ids
+    assert len(run["results"]) == len(result.findings) + len(result.baselined)
+    for entry in run["results"]:
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert entry["partialFingerprints"]["reproLintFingerprint/v1"]
+    json.dumps(sarif)  # must be serializable as-is
+
+
+def test_sarif_cli_writes_file(tmp_path, monkeypatch):
+    monkeypatch.chdir(FIXTURES)
+    out = tmp_path / "lint.sarif"
+    assert main([
+        "repro/kernel/bad_random.py", "--no-baseline", "--no-cache",
+        "--sarif", str(out),
+    ]) == 1
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"
+    assert any(
+        r["ruleId"] == "REP102" for r in doc["runs"][0]["results"]
+    )
