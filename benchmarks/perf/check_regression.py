@@ -9,7 +9,13 @@ metric regressed by more than the threshold (default 25%):
 * ``end_to_end_session_pair_s`` — wall-clock of the canonical Nexus 5
   session pair (lower is better);
 * ``population.fleet_devices_per_sec`` — §3 fleet-engine simulation
-  throughput in devices/second (higher is better).
+  throughput in devices/second (higher is better);
+* ``trace.replay_speedup_x`` — replay analytics over stored traces vs
+  re-simulate-then-analyze on the canonical pair (higher is better).
+  This one also has an **absolute** floor of 5×: the record/replay
+  split exists to make repeated §5 analysis cheap, and a replay path
+  that is less than 5× faster than re-simulation has lost its reason
+  to exist regardless of what the baseline machine measured.
 
 The generous threshold absorbs runner-to-runner hardware variance (the
 committed baselines come from whatever machine cut the PR); the gate
@@ -35,6 +41,9 @@ from typing import Any, Dict, Optional, Tuple
 BENCH_PATTERN = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})(?:\.(\d+))?\.json$")
 
 DEFAULT_THRESHOLD = 0.25
+
+#: Absolute floor for trace.replay_speedup_x (see module docstring).
+REPLAY_SPEEDUP_FLOOR = 5.0
 
 
 def bench_sort_key(path: Path) -> Optional[Tuple[str, int]]:
@@ -71,6 +80,11 @@ def _run_loop(results: Dict[str, Any]) -> Optional[float]:
 
 def _population(results: Dict[str, Any]) -> Optional[float]:
     entry = results.get("population", {}).get("fleet_devices_per_sec")
+    return float(entry) if entry is not None else None
+
+
+def _replay_speedup(results: Dict[str, Any]) -> Optional[float]:
+    entry = results.get("trace", {}).get("replay_speedup_x")
     return float(entry) if entry is not None else None
 
 
@@ -129,6 +143,24 @@ def main(argv=None) -> int:
               f"{base_pop:,.0f} (floor {floor:,.0f}) -> {verdict}")
         if fresh_pop < floor:
             failures.append("fleet_devices_per_sec")
+
+    fresh_speedup = _replay_speedup(fresh)
+    if fresh_speedup is not None:
+        # Absolute 5x floor always applies; a baseline measurement can
+        # only raise the bar (relative check), never lower it.
+        base_speedup = _replay_speedup(baseline)
+        floor = REPLAY_SPEEDUP_FLOOR
+        if base_speedup is not None:
+            floor = max(floor, base_speedup * (1.0 - threshold))
+        verdict = "ok" if fresh_speedup >= floor else "REGRESSED"
+        base_note = (
+            f"baseline {base_speedup:.1f}x" if base_speedup is not None
+            else "no baseline"
+        )
+        print(f"replay_speedup_x: {fresh_speedup:.1f}x vs {base_note} "
+              f"(floor {floor:.1f}x) -> {verdict}")
+        if fresh_speedup < floor:
+            failures.append("replay_speedup_x")
 
     if failures:
         print(f"perf gate FAILED ({', '.join(failures)}) against "

@@ -15,7 +15,13 @@ from __future__ import annotations
 import argparse
 import json
 
-from . import bench_end_to_end, bench_engine, bench_population, bench_sweep
+from . import (
+    bench_end_to_end,
+    bench_engine,
+    bench_population,
+    bench_sweep,
+    bench_trace,
+)
 from .harness import bench_path, write_bench
 
 
@@ -31,6 +37,8 @@ def main(argv=None) -> int:
                         help="skip the canonical session-pair macrobench")
     parser.add_argument("--skip-population", action="store_true",
                         help="skip the §3 fleet devices/sec benchmark")
+    parser.add_argument("--skip-trace", action="store_true",
+                        help="skip the trace record/replay macrobench")
     parser.add_argument("--million", action="store_true",
                         help="include the 1M-device fleet leg (records "
                              "peak RSS; several minutes)")
@@ -50,6 +58,8 @@ def main(argv=None) -> int:
         results["population"] = bench_population.run(
             quick=args.quick, million=args.million
         )
+    if not args.skip_trace:
+        results["trace"] = bench_trace.run(quick=args.quick)
 
     path = write_bench(args.out or bench_path(), results)
     print(json.dumps(results, indent=2, sort_keys=True))

@@ -6,7 +6,7 @@ while a session's trajectory is a pure function of its
 :class:`~repro.experiments.parallel.SessionSpec`.  These rules ban the
 constructs that quietly break that purity inside the simulation core
 (``sim``, ``kernel``, ``sched``, ``video``, ``workload``, ``device``,
-``core``):
+``core``, ``trace``):
 
 ========  ==========================================================
 REP101    wall-clock reads (``time.time``, ``datetime.now``, ...)
@@ -31,8 +31,11 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 from ..engine import Finding, ImportMap, Rule, SourceFile
 
 #: The deterministic core: packages whose code runs inside a simulation.
+#: ``trace`` joined when the store/replay layer landed: a recorder or
+#: replayed trace feeding nondeterminism into analysis would silently
+#: break the live-vs-replay bit-identity contract.
 DETERMINISM_SCOPE: FrozenSet[str] = frozenset(
-    {"sim", "kernel", "sched", "video", "workload", "device", "core"}
+    {"sim", "kernel", "sched", "video", "workload", "device", "core", "trace"}
 )
 
 #: Invariant code additionally covered by the float-equality rule.

@@ -6,6 +6,9 @@ The subcommands mirror the library's main entry points::
     repro sweep    --devices nokia1,nexus5 --pressures normal,critical
     repro study    --scale 0.15 --seed 3
     repro trace    --pressure moderate --duration 25
+    repro trace record  --devices nexus5 --pressures moderate,critical
+    repro trace analyze --jobs 4
+    repro trace ls
     repro validate --level deep
     repro lint     src/repro --json
     repro chaos    --scenarios kill,interrupt
@@ -46,6 +49,10 @@ from .experiments.trace_experiments import profiled_run
 from .sched.states import ThreadState
 from .video.encoding import RESOLUTION_ORDER, SUPPORTED_FRAME_RATES
 
+#: Journal family tag for ``--record-trace`` runs: same payloads as a
+#: session sweep but keyed by trace address, so the two never mix.
+TRACE_RECORD_JOURNAL_MAGIC = "repro-trace-record"
+
 
 def _session_payload(result) -> Dict[str, Any]:
     qoe = summarize(result)
@@ -82,10 +89,26 @@ def cmd_run(args: argparse.Namespace) -> int:
         organic_apps=args.organic_apps,
         abr=MemoryAwareAbr if args.memory_aware_abr else None,
     )
-    result = run_sessions(
-        [spec], jobs=resolve_jobs(args.jobs),
-        cache=False if args.no_cache else None,
-    )[0]
+    if args.record_trace:
+        from .trace.store import TraceStore
+        from .trace.replay import record_traces
+
+        store = TraceStore(args.record_trace)
+        result = record_traces(
+            [spec], store, cache=False if args.no_cache else None,
+        )[0]
+        if result is None:
+            # Trace already recorded and the result fell out of the
+            # cache: re-run the session (untraced) for the report.
+            result = run_sessions(
+                [spec], jobs=resolve_jobs(args.jobs),
+                cache=False if args.no_cache else None,
+            )[0]
+    else:
+        result = run_sessions(
+            [spec], jobs=resolve_jobs(args.jobs),
+            cache=False if args.no_cache else None,
+        )[0]
     payload = _session_payload(result)
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -103,6 +126,48 @@ def cmd_run(args: argparse.Namespace) -> int:
     if payload["signals"]:
         print(f"  OnTrimMemory signals: {payload['signals']}")
     return 0
+
+
+def _sweep_with_traces(
+    args: argparse.Namespace,
+    per_cell,
+    flat,
+    journal: Optional[SweepJournal],
+    report: FabricReport,
+):
+    """Record-while-sweeping: every job runs traced, its trace landing
+    in the ``--record-trace`` store, its result in the usual cache."""
+    from .experiments.runner import _cell_result
+    from .trace.replay import record_traces
+    from .trace.store import TraceStore
+
+    store = TraceStore(args.record_trace)
+    results = record_traces(
+        flat, store,
+        jobs=resolve_jobs(args.jobs),
+        journal=journal,
+        report=report,
+        cache=False if args.no_cache else None,
+    )
+    missing = [i for i, result in enumerate(results) if result is None]
+    if missing:
+        # Traces already recorded but results no longer cached:
+        # re-run those sessions untraced for the sweep report.
+        filled = run_sessions(
+            [flat[i] for i in missing],
+            jobs=resolve_jobs(args.jobs),
+            cache=False if args.no_cache else None,
+            report=report,
+        )
+        for index, result in zip(missing, filled):
+            results[index] = result
+    cells = []
+    cursor = 0
+    for specs in per_cell:
+        chunk = results[cursor:cursor + len(specs)]
+        cursor += len(specs)
+        cells.append(_cell_result(specs, chunk))
+    return cells
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -124,25 +189,41 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         for device, resolution, fps, pressure in grid
     ]
+    per_cell = [cell_specs(**cell) for cell in cell_kwargs]
+    flat = [spec for specs in per_cell for spec in specs]
     journal: Optional[SweepJournal] = None
     if not args.no_journal:
         if args.journal:
             journal_path = args.journal
         else:
-            flat = [
-                spec for cell in cell_kwargs for spec in cell_specs(**cell)
-            ]
             journal_path = str(default_journal_path(flat))
-        journal = SweepJournal(journal_path, resume=args.resume)
+            if args.record_trace:
+                # Same spec digest, different job family (trace keys):
+                # keep the two journal files apart.
+                journal_path += ".trace"
+        if args.record_trace:
+            journal = SweepJournal(
+                journal_path, resume=args.resume,
+                magic=TRACE_RECORD_JOURNAL_MAGIC,
+            )
+        else:
+            journal = SweepJournal(journal_path, resume=args.resume)
     report = FabricReport()
     try:
-        cells = run_cells(
-            cell_kwargs,
-            jobs=resolve_jobs(args.jobs),
-            cache=False if args.no_cache else None,
-            journal=journal,
-            report=report,
-        )
+        if args.record_trace:
+            # Cache state only picks WHICH specs re-run untraced; every
+            # spec's key stays deterministic, so the taint is spurious.
+            cells = _sweep_with_traces(  # repro: noqa[REP122]
+                args, per_cell, flat, journal, report
+            )
+        else:
+            cells = run_cells(
+                cell_kwargs,
+                jobs=resolve_jobs(args.jobs),
+                cache=False if args.no_cache else None,
+                journal=journal,
+                report=report,
+            )
     except SweepInterrupted as exc:
         print(
             f"sweep interrupted: {exc.completed}/{exc.total} jobs "
@@ -278,6 +359,137 @@ def _cmd_study_fleet(args: argparse.Namespace) -> int:
         print(f"exported {len(result.export_paths)} cohort file(s) to "
               f"{result.export_paths[0].parent}")
     print(f"fabric: {report.summary()}")
+    return 0
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    from .experiments.parallel import repetition_seeds
+    from .trace.replay import record_traces, spec_trace_key
+    from .trace.store import TraceStore, default_trace_dir
+
+    specs = [
+        SessionSpec(
+            device=device,
+            resolution=args.resolution,
+            fps=args.fps,
+            pressure=pressure,
+            client=args.client,
+            duration_s=args.duration,
+            seed=seed,
+        )
+        for device in args.devices.split(",")
+        for pressure in args.pressures.split(",")
+        for seed in repetition_seeds(args.seed, args.reps)
+    ]
+    store = TraceStore(args.store or default_trace_dir())
+    journal: Optional[SweepJournal] = None
+    if args.journal:
+        journal = SweepJournal(
+            args.journal, resume=args.resume,
+            magic=TRACE_RECORD_JOURNAL_MAGIC,
+        )
+    report = FabricReport()
+    try:
+        record_traces(
+            specs, store,
+            jobs=resolve_jobs(args.jobs),
+            journal=journal,
+            report=report,
+            cache=False if args.no_cache else None,
+        )
+    except SweepInterrupted as exc:
+        print(
+            f"recording interrupted: {exc.completed}/{exc.total} jobs "
+            "checkpointed; re-run with --resume and the same --journal",
+            file=sys.stderr,
+        )
+        return 130
+    payload = {
+        "store": str(store.root),
+        "recorded": report.computed,
+        "already_recorded": report.cache_hits,
+        "keys": [spec_trace_key(spec) for spec in specs],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"recorded {payload['recorded']} trace(s) "
+          f"({payload['already_recorded']} already in store) -> {store.root}")
+    print(f"fabric: {report.summary()}")
+    return 0
+
+
+def cmd_trace_analyze(args: argparse.Namespace) -> int:
+    from .trace.replay import (
+        ANALYTICS_JOURNAL_MAGIC,
+        TraceAnalytics,
+        analyze_store,
+    )
+    from .trace.store import TraceStore, default_trace_dir
+
+    store = TraceStore(args.store or default_trace_dir())
+    keys = args.keys.split(",") if args.keys else None
+    journal: Optional[SweepJournal] = None
+    if args.journal:
+        journal = SweepJournal(
+            args.journal, resume=args.resume,
+            magic=ANALYTICS_JOURNAL_MAGIC, result_type=TraceAnalytics,
+        )
+    report = FabricReport()
+    analytics = analyze_store(
+        store, keys=keys, jobs=resolve_jobs(args.jobs),
+        journal=journal, report=report,
+    )
+    if args.json:
+        print(json.dumps(
+            {key: a.canonical() for key, a in analytics.items()}, indent=2
+        ))
+        return 0
+    for key, result in analytics.items():
+        busiest, busy_s = (
+            result.top_running[0] if result.top_running else ("-", 0.0)
+        )
+        mmcqd = next(
+            (p.count for p in result.preemptions if p.victor == "mmcqd"), 0
+        )
+        print(f"{key[:16]}  digest {result.digest()[:12]}  "
+              f"busiest {busiest} {busy_s:.2f}s  "
+              f"mmcqd preemptions {mmcqd}  "
+              f"migrations {sum(result.migrations.values())}")
+    print(f"analyzed {len(analytics)} trace(s) from {store.root} "
+          "(replay only, no re-simulation)")
+    print(f"fabric: {report.summary()}")
+    return 0
+
+
+def cmd_trace_ls(args: argparse.Namespace) -> int:
+    from .sim.clock import to_seconds
+    from .trace.store import TraceStore, default_trace_dir
+
+    store = TraceStore(args.store or default_trace_dir())
+    rows = []
+    for key, trace in store.iter_traces():
+        rows.append({
+            "key": key,
+            "device": trace.meta.get("device", "?"),
+            "pressure": trace.meta.get("pressure", "?"),
+            "resolution": trace.meta.get("resolution", "?"),
+            "fps": trace.meta.get("fps", 0),
+            "seed": trace.meta.get("seed", -1),
+            "span_s": round(to_seconds(trace.end_time - trace.start_time), 3),
+            "threads": len(trace.transitions),
+            "transitions": sum(len(t) for t in trace.transitions.values()),
+        })
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
+        print(f"{row['key'][:16]}  {row['device']:8s} "
+              f"{row['resolution']:>6}@{row['fps']:<2} "
+              f"{row['pressure']:9s} seed {row['seed']:<6} "
+              f"{row['span_s']:7.2f}s  {row['threads']:3d} threads  "
+              f"{row['transitions']:6d} transitions")
+    print(f"{len(rows)} trace(s) in {store.root}")
     return 0
 
 
@@ -478,6 +690,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--skip-end-to-end")
     if args.skip_population:
         argv.append("--skip-population")
+    if args.skip_trace:
+        argv.append("--skip-trace")
     if args.million:
         argv.append("--million")
     argv.extend(["--jobs", str(args.jobs)])
@@ -513,6 +727,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "session always runs in one process")
     run_p.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk session result cache")
+    run_p.add_argument("--record-trace", default=None, metavar="DIR",
+                       help="run traced and persist the columnar trace "
+                            "into the store at DIR (see docs/tracing.md)")
     run_p.add_argument("--json", action="store_true")
     run_p.set_defaults(func=cmd_run)
 
@@ -538,6 +755,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "cache directory)")
     sweep_p.add_argument("--no-journal", action="store_true",
                          help="disable checkpointing for this sweep")
+    sweep_p.add_argument("--record-trace", default=None, metavar="DIR",
+                         help="run every job traced and persist the "
+                              "columnar traces into the store at DIR")
     sweep_p.add_argument("--json", action="store_true")
     sweep_p.set_defaults(func=cmd_sweep)
 
@@ -573,7 +793,10 @@ def build_parser() -> argparse.ArgumentParser:
     study_p.add_argument("--json", action="store_true")
     study_p.set_defaults(func=cmd_study)
 
-    trace_p = sub.add_parser("trace", help="profile a session (§5)")
+    trace_p = sub.add_parser(
+        "trace",
+        help="profile a session (§5), or record/replay stored traces",
+    )
     trace_p.add_argument("--device", default="nokia1",
                          choices=sorted(DEVICE_FACTORIES))
     trace_p.add_argument("--pressure", default="moderate",
@@ -583,6 +806,66 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--top", type=int, default=8)
     trace_p.add_argument("--json", action="store_true")
     trace_p.set_defaults(func=cmd_trace)
+
+    trace_sub = trace_p.add_subparsers(
+        dest="trace_command",
+        metavar="{record,analyze,ls}",
+        help="trace store verbs (omit for the legacy live profile)",
+    )
+    record_p = trace_sub.add_parser(
+        "record", help="run sessions once, persisting columnar traces"
+    )
+    record_p.add_argument("--devices", default="nexus5",
+                          help="comma-separated device list")
+    record_p.add_argument("--pressures", default="moderate",
+                          help="comma-separated pressure list")
+    record_p.add_argument("--resolution", default="480p",
+                          choices=RESOLUTION_ORDER)
+    record_p.add_argument("--fps", type=int, default=30,
+                          choices=SUPPORTED_FRAME_RATES)
+    record_p.add_argument("--client", default=None,
+                          choices=["firefox", "chrome", "exoplayer"])
+    record_p.add_argument("--duration", type=float, default=20.0)
+    record_p.add_argument("--seed", type=int, default=11,
+                          help="base seed (repetitions stride from it)")
+    record_p.add_argument("--reps", type=int, default=1)
+    record_p.add_argument("--jobs", type=int, default=1,
+                          help="record on N worker processes (0 = all cores)")
+    record_p.add_argument("--store", default=None, metavar="DIR",
+                          help="trace store root (default: "
+                               "$REPRO_TRACE_DIR, else the cache "
+                               "directory's traces/)")
+    record_p.add_argument("--journal", default=None,
+                          help="checkpoint journal for interrupted "
+                               "recording runs")
+    record_p.add_argument("--resume", action="store_true")
+    record_p.add_argument("--no-cache", action="store_true",
+                          help="do not land session results in the "
+                               "result cache while recording")
+    record_p.add_argument("--json", action="store_true")
+    record_p.set_defaults(func=cmd_trace_record)
+
+    analyze_p = trace_sub.add_parser(
+        "analyze",
+        help="replay §5 analytics over stored traces (no re-simulation)",
+    )
+    analyze_p.add_argument("--store", default=None, metavar="DIR")
+    analyze_p.add_argument("--keys", default=None,
+                           help="comma-separated trace keys (default: all)")
+    analyze_p.add_argument("--jobs", type=int, default=1,
+                           help="one trace per job over N workers "
+                                "(0 = all cores)")
+    analyze_p.add_argument("--journal", default=None,
+                           help="checkpoint journal for resumable "
+                                "analytics over large stores")
+    analyze_p.add_argument("--resume", action="store_true")
+    analyze_p.add_argument("--json", action="store_true")
+    analyze_p.set_defaults(func=cmd_trace_analyze)
+
+    ls_p = trace_sub.add_parser("ls", help="list stored traces")
+    ls_p.add_argument("--store", default=None, metavar="DIR")
+    ls_p.add_argument("--json", action="store_true")
+    ls_p.set_defaults(func=cmd_trace_ls)
 
     validate_p = sub.add_parser(
         "validate",
@@ -687,6 +970,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the canonical session-pair macrobench")
     bench_p.add_argument("--skip-population", action="store_true",
                          help="skip the §3 fleet devices/sec benchmark")
+    bench_p.add_argument("--skip-trace", action="store_true",
+                         help="skip the trace record/replay macrobench")
     bench_p.add_argument("--million", action="store_true",
                          help="include the 1M-device fleet leg (records "
                               "peak RSS; several minutes)")

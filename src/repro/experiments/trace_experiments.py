@@ -31,29 +31,41 @@ from ..trace.analysis import (
     top_running_threads,
 )
 from ..trace.recorder import TraceRecorder
+from ..trace.replay import VIDEO_THREAD_PREFIXES, is_video_thread
 from ..video.encoding import default_video
+
+__all__ = [
+    "VIDEO_THREAD_PREFIXES",
+    "is_video_thread",
+    "ProfiledRun",
+    "profiled_run",
+    "table4_thread_states",
+    "fig13_kswapd_states",
+    "table5_preemptions",
+    "fig14_crash_timeline",
+    "fig15_organic_timeline",
+]
 
 #: The paper's §5 configuration: 480p at 60 FPS on the Nokia 1.
 PROFILE_RESOLUTION = "480p"
 PROFILE_FPS = 60
 
-#: Client-thread name prefixes counted as "video client threads"
-#: (footnote 11: SurfaceFlinger, MediaCodec, and the browser's own).
-VIDEO_THREAD_PREFIXES = ("MediaCodec", "SurfaceFlinger", "firefox", "chrome", "exoplayer")
-
-
-def is_video_thread(name: str) -> bool:
-    return name.startswith(VIDEO_THREAD_PREFIXES)
-
 
 @dataclass
 class ProfiledRun:
-    """One traced playback session and its derived statistics."""
+    """One traced playback session and its derived statistics.
+
+    ``playback_started`` is False when the session died during the
+    pressure ramp and streaming never began: the recorder is then an
+    explicitly-empty placeholder (nothing was there to record), not a
+    silently-blank trace of the playback window.
+    """
 
     pressure: str
     recorder: TraceRecorder
     result: object
     kill_events: List[Tuple[float, str]] = field(default_factory=list)
+    playback_started: bool = True
 
     def video_state_times(self) -> Dict[ThreadState, float]:
         return state_times(self.recorder, is_video_thread)
@@ -117,9 +129,21 @@ def profiled_run(
     result = session.run(
         on_playback_start=lambda: holder.append(TraceRecorder(dev.sim))
     )
-    recorder = holder[0] if holder else TraceRecorder(dev.sim)
+    if holder:
+        recorder = holder[0]
+    else:
+        # Playback never began (the ramp killed the session first), so
+        # there is no streaming window to profile.  Hand back an
+        # explicitly-empty recorder instead of attaching one after the
+        # fact — the old fallback recorded nothing but looked attached.
+        recorder = TraceRecorder(dev.sim)
+    recorder.detach()
     return ProfiledRun(
-        pressure=pressure, recorder=recorder, result=result, kill_events=kills
+        pressure=pressure,
+        recorder=recorder,
+        result=result,
+        kill_events=kills,
+        playback_started=bool(holder),
     )
 
 

@@ -223,6 +223,27 @@ class Simulator:
         self._hooks.setdefault(topic, []).append(callback)
         self.tracing = True
 
+    def off(self, topic: str, callback: Callable[..., None]) -> None:
+        """Remove one ``topic`` subscription added with :meth:`on`.
+
+        Removing a callback that is not subscribed is a no-op, so
+        teardown paths (e.g. :meth:`~repro.trace.TraceRecorder.detach`)
+        can run idempotently.  When the last subscriber across all
+        topics is gone, :attr:`tracing` drops back to ``False`` and the
+        hot call sites stop building emit payloads entirely.
+        """
+        hooks = self._hooks.get(topic)
+        if hooks is None:
+            return
+        try:
+            hooks.remove(callback)
+        except ValueError:
+            return
+        if not hooks:
+            del self._hooks[topic]
+        if not self._hooks:
+            self.tracing = False
+
     def emit(self, topic: str, **payload: Any) -> None:
         """Publish an instrumentation event to all ``topic`` subscribers."""
         if not self.tracing:

@@ -21,7 +21,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..sched.states import ThreadState
 from ..sim.clock import Time, seconds, to_seconds
-from .recorder import TraceRecorder
+from .view import TraceView
 
 ThreadFilter = Callable[[str], bool]
 
@@ -31,7 +31,7 @@ def _match(names: Iterable[str], selector: ThreadFilter) -> List[str]:
 
 
 def state_times(
-    trace: TraceRecorder,
+    trace: TraceView,
     selector: ThreadFilter,
     until: Optional[Time] = None,
 ) -> Dict[ThreadState, float]:
@@ -44,7 +44,7 @@ def state_times(
 
 
 def top_running_threads(
-    trace: TraceRecorder,
+    trace: TraceView,
     until: Optional[Time] = None,
     limit: int = 20,
 ) -> List[Tuple[str, float]]:
@@ -62,7 +62,7 @@ def top_running_threads(
 
 
 def state_breakdown(
-    trace: TraceRecorder,
+    trace: TraceView,
     thread_name: str,
     until: Optional[Time] = None,
 ) -> Dict[ThreadState, float]:
@@ -90,7 +90,7 @@ class PreemptionStats:
 
 
 def _running_duration_from(
-    trace: TraceRecorder, thread_name: str, start: Time, until: Time
+    trace: TraceView, thread_name: str, start: Time, until: Time
 ) -> Time:
     """Contiguous RUNNING time of ``thread_name`` starting at ``start``."""
     for ivl_start, ivl_end, state in trace.intervals(thread_name, until):
@@ -100,7 +100,7 @@ def _running_duration_from(
 
 
 def _wait_until_running(
-    trace: TraceRecorder, thread_name: str, start: Time, until: Time
+    trace: TraceView, thread_name: str, start: Time, until: Time
 ) -> Time:
     """Time from ``start`` until ``thread_name`` next enters RUNNING."""
     for ivl_start, ivl_end, state in trace.intervals(thread_name, until):
@@ -110,7 +110,7 @@ def _wait_until_running(
 
 
 def preemption_stats(
-    trace: TraceRecorder,
+    trace: TraceView,
     victim_selector: ThreadFilter,
     until: Optional[Time] = None,
 ) -> List[PreemptionStats]:
@@ -121,7 +121,7 @@ def preemption_stats(
     waited to get the CPU back — the three statistics of Table 5.
     """
     if until is None:
-        until = trace.sim.now
+        until = trace.end_time
     events_by_victor: Dict[str, List[Tuple[Time, str]]] = defaultdict(list)
     for time, victim, victor, _core in trace.preemptions:
         if time <= until and victim_selector(victim):
@@ -153,14 +153,14 @@ def preemption_stats(
 
 
 def cpu_utilization_series(
-    trace: TraceRecorder,
+    trace: TraceView,
     thread_name: str,
     window: Time = seconds(1.0),
     until: Optional[Time] = None,
 ) -> List[Tuple[float, float]]:
     """(window start seconds, utilization in [0,1]) per window."""
     if until is None:
-        until = trace.sim.now
+        until = trace.end_time
     running = [
         (start, end)
         for start, end, state in trace.intervals(thread_name, until)
@@ -181,6 +181,6 @@ def cpu_utilization_series(
     return series
 
 
-def migration_counts(trace: TraceRecorder) -> Dict[str, int]:
+def migration_counts(trace: TraceView) -> Dict[str, int]:
     """Core migrations per thread (§7: kswapd switches cores often)."""
     return dict(trace.migrations)

@@ -11,6 +11,13 @@ stores what Perfetto would capture from ftrace on a real device:
 
 Because the simulator records its own ground-truth schedule, the §5
 analyses computed from these traces are exact rather than sampled.
+
+A recorder can be :meth:`~TraceRecorder.detach`-ed once its window of
+interest has passed: the subscriptions come off the emit bus (so the
+rest of the session stops paying the subscribed-emit cost), counter
+sampling stops, and the trace's :attr:`~TraceRecorder.end_time` freezes
+at the detach instant — which is also the precondition for persisting
+it with :func:`repro.trace.store.save_trace`.
 """
 
 from __future__ import annotations
@@ -23,40 +30,66 @@ from ..sched.states import ThreadState
 from ..sim.clock import Time, seconds
 from ..sim.engine import Simulator
 from ..sim.periodic import PeriodicService
+from .view import Preemption, TraceView, Transition
 
-#: A state transition: (time, new_state).
-Transition = Tuple[Time, ThreadState]
-#: A displacement: (time, victim name, victor name, core index).
-Preemption = Tuple[Time, str, str, int]
+__all__ = ["Preemption", "TraceRecorder", "Transition"]
 
 
-class TraceRecorder:
+class TraceRecorder(TraceView):
     """Records scheduling events and counter tracks for later analysis."""
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.start_time: Time = sim.now
         self.transitions: Dict[str, List[Transition]] = defaultdict(list)
-        #: True mid-slice preemptions by a higher scheduling class.
         self.preemptions: List[Preemption] = []
-        #: Involuntary quantum rotations within the same class.
         self.rotations: List[Preemption] = []
         self.migrations: Dict[str, int] = defaultdict(int)
         self.counters: Dict[str, List[Tuple[Time, float]]] = defaultdict(list)
+        self.initial_states: Dict[str, ThreadState] = {}
         self._counter_fns: List[Tuple[str, Callable[[], float]]] = []
-        self._sampling = False
-        self._initial_states: Dict[str, ThreadState] = {}
+        self._sampler: Optional[PeriodicService] = None
+        self._end_time: Optional[Time] = None
         sim.on("sched.state", self._on_state)
         sim.on("sched.preempt", self._on_preempt)
         sim.on("sched.migrate", self._on_migrate)
+
+    @property
+    def end_time(self) -> Time:
+        """``sim.now`` while attached; frozen by :meth:`detach`."""
+        return self.sim.now if self._end_time is None else self._end_time
+
+    @property
+    def detached(self) -> bool:
+        return self._end_time is not None
+
+    def detach(self) -> None:
+        """Stop recording: unsubscribe, end sampling, freeze the span.
+
+        After this the recorder costs the simulation nothing (a session
+        that keeps running emits to nobody) and the trace is immutable —
+        safe to analyze, persist, or ship across a process boundary.
+        Idempotent: a second detach is a no-op and keeps the original
+        end time.
+        """
+        if self._end_time is not None:
+            return
+        self._end_time = self.sim.now
+        sim = self.sim
+        sim.off("sched.state", self._on_state)
+        sim.off("sched.preempt", self._on_preempt)
+        sim.off("sched.migrate", self._on_migrate)
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler = None
 
     # ------------------------------------------------------------------
     # Event capture
     # ------------------------------------------------------------------
     def _on_state(self, time: Time, thread: Thread, old: ThreadState, new: ThreadState) -> None:
         name = thread.name
-        if name not in self._initial_states:
-            self._initial_states[name] = old
+        if name not in self.initial_states:
+            self.initial_states[name] = old
         self.transitions[name].append((time, new))
 
     def _on_preempt(
@@ -86,42 +119,13 @@ class TraceRecorder:
 
     def start_sampling(self, period: Time = seconds(0.5)) -> None:
         """Begin periodic sampling of all registered counters."""
-        if self._sampling:
+        if self._sampler is not None or self._end_time is not None:
             return
-        self._sampling = True
-        PeriodicService(
+        self._sampler = PeriodicService(
             self.sim, period, self._sample, label="trace:sample"
-        ).fire()  # first sample lands inline
+        )
+        self._sampler.fire()  # first sample lands inline
 
     def _sample(self) -> None:
         for name, fn in self._counter_fns:
             self.counters[name].append((self.sim.now, float(fn())))
-
-    # ------------------------------------------------------------------
-    # Interval reconstruction
-    # ------------------------------------------------------------------
-    def intervals(
-        self, thread_name: str, until: Optional[Time] = None
-    ) -> List[Tuple[Time, Time, ThreadState]]:
-        """(start, end, state) intervals for one thread, tiling
-        [start_time, until]."""
-        if until is None:
-            until = self.sim.now
-        events = self.transitions.get(thread_name, [])
-        initial = self._initial_states.get(thread_name, ThreadState.SLEEPING)
-        result: List[Tuple[Time, Time, ThreadState]] = []
-        current_state = initial
-        current_start = self.start_time
-        for time, new_state in events:
-            if time > until:
-                break
-            if time > current_start:
-                result.append((current_start, time, current_state))
-            current_state = new_state
-            current_start = time
-        if until > current_start:
-            result.append((current_start, until, current_state))
-        return result
-
-    def thread_names(self) -> List[str]:
-        return sorted(self.transitions.keys())

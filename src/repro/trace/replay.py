@@ -1,0 +1,340 @@
+"""Record-once / analyze-many: trace capture and parallel replay.
+
+The paper's workflow captures one Perfetto trace per session and mines
+it repeatedly for Tables 4-5 and Figures 13-14.  This module is that
+split for the simulator:
+
+* :func:`record_session_trace` runs one session **with a recorder
+  attached** and returns both the session result and the finished
+  (detached) trace — recording is observation-only, so the result is
+  bit-identical to an untraced :func:`~repro.experiments.parallel.run_spec`
+  of the same spec;
+* :func:`record_traces` fans recording over the generic job fabric and
+  persists each trace into a content-addressed
+  :class:`~repro.trace.store.TraceStore`;
+* :func:`analyze_view` answers the five §5 queries over any
+  :class:`~repro.trace.view.TraceView` — live or replayed — as one
+  plain-data :class:`TraceAnalytics`;
+* :func:`analyze_store` fans those queries over stored traces with
+  ``run_jobs`` (one trace per job, journal-resume supported), **without
+  re-simulating anything**.
+
+Replay jobs are embarrassingly parallel and their payloads are plain
+paths, so jobs=1 and jobs=N produce byte-identical analytics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+import hashlib
+import json
+
+from ..sim.clock import Time
+from .analysis import (
+    PreemptionStats,
+    cpu_utilization_series,
+    migration_counts,
+    preemption_stats,
+    state_breakdown,
+    state_times,
+    top_running_threads,
+)
+from .recorder import TraceRecorder
+from .store import TraceStore, trace_key
+from .view import TraceView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..experiments.checkpoint import SweepJournal
+    from ..experiments.parallel import (
+        FabricReport,
+        RetryPolicy,
+        SessionSpec,
+    )
+    from ..video.player import SessionResult
+
+#: Client-thread name prefixes counted as "video client threads"
+#: (footnote 11: SurfaceFlinger, MediaCodec, and the browser's own).
+#: Canonical home; ``experiments.trace_experiments`` re-exports it.
+VIDEO_THREAD_PREFIXES = (
+    "MediaCodec", "SurfaceFlinger", "firefox", "chrome", "exoplayer"
+)
+
+#: Journal family tag for replay-analytics checkpoints — distinct from
+#: the session-sweep magic so a foreign journal is discarded, not read.
+ANALYTICS_JOURNAL_MAGIC = "repro-trace-analytics"
+
+#: Threads the §5 queries single out by name.
+KSWAPD_THREAD = "kswapd0"
+LMKD_THREAD = "lmkd"
+
+
+def is_video_thread(name: str) -> bool:
+    return name.startswith(VIDEO_THREAD_PREFIXES)
+
+
+# ======================================================================
+# The five §5 queries as one plain-data result
+# ======================================================================
+
+@dataclass
+class TraceAnalytics:
+    """Every §5 query over one trace, in plain picklable data.
+
+    Keys are state *values* (strings) rather than enum members so the
+    object JSON-serialises for digests and CLI output without loss.
+    """
+
+    #: Table 4 — seconds per state summed over video client threads.
+    video_state_times: Dict[str, float] = field(default_factory=dict)
+    #: §5 "top running threads" — (thread, running seconds), descending.
+    top_running: List[Tuple[str, float]] = field(default_factory=list)
+    #: Figure 13 — kswapd0's fractional state breakdown.
+    kswapd_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Table 5 — per-victor preemption stats over video threads.
+    preemptions: List[PreemptionStats] = field(default_factory=list)
+    #: Figure 14 — lmkd windowed CPU utilization series.
+    lmkd_utilization: List[Tuple[float, float]] = field(default_factory=list)
+    #: §7 — core migrations per thread.
+    migrations: Dict[str, int] = field(default_factory=dict)
+
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-safe form with ``repr``-exact floats (digest input)."""
+        return {
+            "video_state_times": {
+                state: repr(value)
+                for state, value in sorted(self.video_state_times.items())
+            },
+            "top_running": [
+                [name, repr(value)] for name, value in self.top_running
+            ],
+            "kswapd_breakdown": {
+                state: repr(value)
+                for state, value in sorted(self.kswapd_breakdown.items())
+            },
+            "preemptions": [
+                {
+                    key: repr(value) if isinstance(value, float) else value
+                    for key, value in asdict(stats).items()
+                }
+                for stats in self.preemptions
+            ],
+            "lmkd_utilization": [
+                [repr(start), repr(value)]
+                for start, value in self.lmkd_utilization
+            ],
+            "migrations": dict(sorted(self.migrations.items())),
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical form — bit-identity in one value."""
+        blob = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def analyze_view(
+    view: TraceView, until: Optional[Time] = None
+) -> TraceAnalytics:
+    """Run all five §5 queries over one trace (live or replayed)."""
+    return TraceAnalytics(
+        video_state_times={
+            state.value: value
+            for state, value in state_times(
+                view, is_video_thread, until
+            ).items()
+        },
+        top_running=top_running_threads(view, until, limit=10),
+        kswapd_breakdown={
+            state.value: value
+            for state, value in state_breakdown(
+                view, KSWAPD_THREAD, until
+            ).items()
+        },
+        preemptions=preemption_stats(view, is_video_thread, until),
+        lmkd_utilization=cpu_utilization_series(view, LMKD_THREAD, until=until),
+        migrations=migration_counts(view),
+    )
+
+
+# ======================================================================
+# Recording: one traced session, observation-only
+# ======================================================================
+
+def record_session_trace(
+    spec: "SessionSpec",
+) -> Tuple["SessionResult", TraceRecorder]:
+    """Run one session job with a trace recorder attached throughout.
+
+    The session is constructed exactly as
+    :func:`~repro.experiments.parallel.run_spec` constructs it — same
+    factory, same seed path — and the recorder only observes the emit
+    bus, so the returned :class:`SessionResult` is bit-identical to an
+    untraced run of the same spec (golden-locked).  The recorder covers
+    the whole run (pressure ramp included) and comes back detached,
+    ready for :meth:`~repro.trace.store.TraceStore.save`.
+    """
+    from ..core.session import DEVICE_FACTORIES, StreamingSession
+
+    device = DEVICE_FACTORIES[spec.device](seed=spec.seed)
+    recorder = TraceRecorder(device.sim)
+    session = StreamingSession(
+        device=device,
+        asset=spec.asset,
+        resolution=spec.resolution,
+        frame_rate=spec.fps,
+        pressure=spec.pressure,
+        client=spec.client,
+        duration_s=spec.duration_s,
+        seed=spec.seed,
+        organic_apps=spec.organic_apps,
+        abr=spec.abr() if callable(spec.abr) else spec.abr,
+    )
+    result = session.run()
+    recorder.detach()
+    return result, recorder
+
+
+def spec_trace_key(spec: "SessionSpec") -> str:
+    """Content address of a spec's trace (spec digest + trace schema)."""
+    from ..experiments.parallel import cache_key
+
+    return trace_key(cache_key(spec))
+
+
+@dataclass(frozen=True)
+class TraceRecordJob:
+    """One record-and-persist job: a spec plus the store to write into.
+
+    Plain data (no callables, no open handles) so the generic fabric
+    can ship it to a worker process.
+    """
+
+    spec: "SessionSpec"
+    store_root: str
+
+
+def record_trace_job(job: TraceRecordJob) -> "SessionResult":
+    """Record one session's trace into the store (worker entry point)."""
+    from ..experiments.parallel import cache_key
+
+    spec = job.spec
+    result, recorder = record_session_trace(spec)
+    session_key = cache_key(spec)
+    TraceStore(job.store_root).save(
+        trace_key(session_key),
+        recorder,
+        meta={
+            "session": session_key,
+            "device": spec.device,
+            "resolution": spec.resolution,
+            "fps": spec.fps,
+            "pressure": spec.pressure,
+            "client": spec.client or "",
+            "duration_s": spec.duration_s,
+            "seed": spec.seed,
+            "organic_apps": spec.organic_apps,
+        },
+    )
+    return result
+
+
+def record_traces(
+    specs: Sequence["SessionSpec"],
+    store: TraceStore,
+    jobs: Optional[int] = None,
+    journal: Optional["SweepJournal"] = None,
+    policy: Optional["RetryPolicy"] = None,
+    report: Optional["FabricReport"] = None,
+    cache: Any = None,
+) -> List[Optional["SessionResult"]]:
+    """Record traces for ``specs`` into ``store`` on the job fabric.
+
+    Specs whose trace already exists in the store are skipped (their
+    slot holds ``None`` unless the session ``cache`` still has the
+    result); the rest fan out over ``jobs`` workers with the full
+    supervision stack — retries, journal-resume, Ctrl-C drain.  Each
+    completed job also lands its :class:`SessionResult` in the cache,
+    so recording warms the ordinary result cache.  ``cache`` follows
+    the :func:`repro.experiments.parallel.run_sessions` contract:
+    ``None`` selects the default on-disk cache, ``False`` disables
+    caching, a :class:`ResultCache` passes through.
+    """
+    from ..experiments.parallel import cache_key, resolve_cache, run_jobs
+
+    cache = resolve_cache(cache)
+    session_keys = [cache_key(spec) for spec in specs]
+    results: List[Optional["SessionResult"]] = [None] * len(specs)
+    todo: List[int] = []
+    for index, session_key in enumerate(session_keys):
+        if store.contains(trace_key(session_key)):
+            if report is not None:
+                report.cache_hits += 1
+            if cache is not None:
+                results[index] = cache.get(session_key)
+            continue
+        todo.append(index)
+    if todo:
+        computed = run_jobs(
+            [TraceRecordJob(specs[i], str(store.root)) for i in todo],
+            record_trace_job,
+            keys=[trace_key(session_keys[i]) for i in todo],
+            seeds=[specs[i].seed for i in todo],
+            jobs=jobs,
+            journal=journal,
+            policy=policy,
+            report=report,
+        )
+        for index, result in zip(todo, computed):
+            results[index] = result
+            if cache is not None and result is not None:
+                cache.put(session_keys[index], result)
+    return results
+
+
+# ======================================================================
+# Replay: parallel analytics over stored traces, no re-simulation
+# ======================================================================
+
+def analyze_trace_path(path: str) -> TraceAnalytics:
+    """Load one stored trace and run the §5 queries (worker entry point)."""
+    from .store import load_trace
+
+    return analyze_view(load_trace(path))
+
+
+def analyze_store(
+    store: TraceStore,
+    keys: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    journal: Optional["SweepJournal"] = None,
+    policy: Optional["RetryPolicy"] = None,
+    report: Optional["FabricReport"] = None,
+) -> Dict[str, TraceAnalytics]:
+    """Replay-analyze stored traces in parallel; returns key → analytics.
+
+    One job per trace on the generic fabric (``keys`` defaults to every
+    trace in the store, sorted).  A job's payload is just the trace
+    path, its journal key is ``analytics:<trace key>``, and the queries
+    are pure functions of the file's contents — so resumed, serial, and
+    parallel runs are byte-identical.
+    """
+    from ..experiments.parallel import run_jobs
+
+    trace_keys = list(keys) if keys is not None else store.keys()
+    analytics = run_jobs(
+        [str(store.path_for(key)) for key in trace_keys],
+        analyze_trace_path,
+        keys=[f"analytics:{key}" for key in trace_keys],
+        jobs=jobs,
+        journal=journal,
+        policy=policy,
+        report=report,
+    )
+    return {
+        key: result
+        for key, result in zip(trace_keys, analytics)
+        if result is not None
+    }

@@ -1,0 +1,82 @@
+"""The trace read interface shared by live recording and replay.
+
+:mod:`repro.trace.analysis` answers every §5 question from four event
+families (state transitions, preemptions/rotations, migrations, counter
+tracks) plus the trace's time span.  :class:`TraceView` is that contract
+made concrete: the live :class:`~repro.trace.recorder.TraceRecorder`
+fills it while the simulation runs, and
+:class:`~repro.trace.store.ReplayTrace` fills it from a columnar file on
+disk — so an analysis query cannot tell (and must not care) whether the
+events it walks were recorded five microseconds or five weeks ago.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sched.states import ThreadState
+from ..sim.clock import Time
+
+#: A state transition: (time, new_state).
+Transition = Tuple[Time, ThreadState]
+#: A displacement: (time, victim name, victor name, core index).
+Preemption = Tuple[Time, str, str, int]
+
+
+class TraceView:
+    """Recorded scheduling events and counter tracks, queryable.
+
+    Subclasses populate the data attributes and define the trace's
+    :attr:`end_time`; the interval-reconstruction queries live here so
+    live and replayed traces share one implementation (and therefore
+    produce bit-identical analysis results on identical event data).
+    """
+
+    #: First instant covered by the trace.
+    start_time: Time
+    #: Per-thread state transitions, in occurrence order.
+    transitions: Dict[str, List[Transition]]
+    #: True mid-slice preemptions by a higher scheduling class.
+    preemptions: List[Preemption]
+    #: Involuntary quantum rotations within the same class.
+    rotations: List[Preemption]
+    #: Core migrations per thread.
+    migrations: Dict[str, int]
+    #: Named counter tracks: (sample time, value) per sample.
+    counters: Dict[str, List[Tuple[Time, float]]]
+    #: The state each thread was in when first observed.
+    initial_states: Dict[str, ThreadState]
+
+    @property
+    def end_time(self) -> Time:
+        """Last instant covered by the trace (analysis' default horizon)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Interval reconstruction
+    # ------------------------------------------------------------------
+    def intervals(
+        self, thread_name: str, until: Optional[Time] = None
+    ) -> List[Tuple[Time, Time, ThreadState]]:
+        """(start, end, state) intervals for one thread, tiling
+        [start_time, until]."""
+        if until is None:
+            until = self.end_time
+        events = self.transitions.get(thread_name, [])
+        initial = self.initial_states.get(thread_name, ThreadState.SLEEPING)
+        result: List[Tuple[Time, Time, ThreadState]] = []
+        current_state = initial
+        current_start = self.start_time
+        for time, new_state in events:
+            if time > until:
+                break
+            if time > current_start:
+                result.append((current_start, time, current_state))
+            current_state = new_state
+            current_start = time
+        if until > current_start:
+            result.append((current_start, until, current_state))
+        return result
+
+    def thread_names(self) -> List[str]:
+        return sorted(self.transitions.keys())

@@ -156,3 +156,104 @@ def check_golden(
         else:
             report[name] = diff_digests(expected, digest)
     return report
+
+
+# ----------------------------------------------------------------------
+# Trace record/replay goldens
+# ----------------------------------------------------------------------
+
+def compute_trace_digest(name: str) -> Dict[str, object]:
+    """Record one canonical session's trace, round-trip it through the
+    columnar store, and digest both the trace content and the replayed
+    §5 analytics.
+
+    The digest locks four independent properties at once:
+
+    * the recorded event stream itself (``trace_content_sha256``);
+    * the on-disk format (a save/load round trip must reproduce the
+      exact same content digest — ``roundtrip_identical``);
+    * the analytics (``analytics_sha256`` over all five §5 queries,
+      with ``replay_analytics_identical`` asserting the replayed trace
+      answers them bit-identically to the live recorder);
+    * recording neutrality (``session_series_sha256`` must equal the
+      untraced canonical session's ``series_sha256`` — a recorder that
+      perturbs the simulation drifts here first).
+    """
+    import tempfile
+
+    from ..experiments.parallel import SessionSpec, cache_key
+    from ..trace.replay import analyze_view, record_session_trace
+    from ..trace.store import (
+        TRACE_SCHEMA_VERSION,
+        load_trace,
+        save_trace,
+        trace_digest,
+        trace_key,
+    )
+
+    params = CANONICAL_SESSIONS[name]
+    spec = SessionSpec(
+        device=params["device"],
+        resolution=params["resolution"],
+        fps=params["frame_rate"],
+        pressure=params["pressure"],
+        client=None,
+        duration_s=params["duration_s"],
+        seed=params["seed"],
+    )
+    result, recorder = record_session_trace(spec)
+    live_content = trace_digest(recorder)
+    live_analytics = analyze_view(recorder)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_trace(
+            recorder, Path(tmp) / "golden.trace.npz",
+            meta={"session": cache_key(spec)},
+        )
+        replayed = load_trace(path)
+    replay_content = trace_digest(replayed)
+    replay_analytics = analyze_view(replayed)
+    return {
+        "trace_schema": TRACE_SCHEMA_VERSION,
+        "trace_key": trace_key(cache_key(spec)),
+        "threads": live_content["threads"],
+        "transitions": live_content["transitions"],
+        "preemptions": live_content["preemptions"],
+        "rotations": live_content["rotations"],
+        "migrations": live_content["migrations"],
+        "span_ticks": live_content["span_ticks"],
+        "trace_content_sha256": live_content["content_sha256"],
+        "roundtrip_identical": replay_content == live_content,
+        "analytics_sha256": live_analytics.digest(),
+        "replay_analytics_identical":
+            replay_analytics.digest() == live_analytics.digest(),
+        "session_series_sha256": session_digest(result)["series_sha256"],
+    }
+
+
+def check_trace_golden(
+    names: Optional[List[str]] = None,
+    update: bool = False,
+) -> Dict[str, List[str]]:
+    """Compare (or refresh) the trace record/replay goldens.
+
+    Digest files live next to the session goldens as
+    ``tests/golden/trace_<name>.json``; report keys are
+    ``trace:<name>`` so the two families read distinctly.
+    """
+    report: Dict[str, List[str]] = {}
+    for name in names or sorted(CANONICAL_SESSIONS):
+        digest = compute_trace_digest(name)
+        file_name = f"trace_{name}"
+        if update:
+            write_digest(file_name, digest)
+            report[f"trace:{name}"] = []
+            continue
+        expected = load_digest(file_name)
+        if expected is None:
+            report[f"trace:{name}"] = [
+                f"no golden digest at {golden_dir() / (file_name + '.json')} "
+                "(run `repro validate --update-golden`)"
+            ]
+        else:
+            report[f"trace:{name}"] = diff_digests(expected, digest)
+    return report

@@ -21,6 +21,7 @@ from ..core.session import StreamingSession
 from .checkers import Violation
 from .golden import (
     CANONICAL_SESSIONS,
+    check_trace_golden,
     diff_digests,
     golden_dir,
     load_digest,
@@ -110,5 +111,14 @@ def run_validation(
             ]
         else:
             report.golden[name] = diff_digests(expected, digest)
+    # Trace record/replay goldens: each canonical session re-runs with a
+    # recorder attached, round-trips through the columnar store, and
+    # must answer the §5 queries bit-identically from disk.
+    try:
+        report.golden.update(check_trace_golden(update=update_golden))
+    except Exception as exc:
+        report.golden["trace"] = [
+            f"trace golden run crashed: {exc!r}"
+        ]
     report.oracles = run_oracles(jobs=jobs, level=level, cache=cache)
     return report

@@ -72,3 +72,57 @@ def test_trace_command_json(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert "video_thread_states_s" in payload
     assert payload["crashed"] in (True, False)
+
+
+def test_trace_record_analyze_ls_roundtrip(tmp_path, capsys):
+    store = str(tmp_path / "traces")
+    code = main([
+        "trace", "record", "--devices", "nexus5", "--pressures", "normal",
+        "--resolution", "240p", "--duration", "2", "--store", store,
+        "--no-cache", "--json",
+    ])
+    assert code == 0
+    recorded = json.loads(capsys.readouterr().out)
+    assert recorded["recorded"] == 1
+    (key,) = recorded["keys"]
+
+    code = main(["trace", "analyze", "--store", store, "--json"])
+    assert code == 0
+    analytics = json.loads(capsys.readouterr().out)
+    assert list(analytics) == [key]
+    assert "video_state_times" in analytics[key]
+
+    code = main(["trace", "ls", "--store", store, "--json"])
+    assert code == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert len(listing) == 1
+
+
+def test_trace_record_skips_existing(tmp_path, capsys):
+    store = str(tmp_path / "traces")
+    argv = [
+        "trace", "record", "--devices", "nexus5", "--pressures", "normal",
+        "--resolution", "240p", "--duration", "2", "--store", store,
+        "--no-cache", "--json",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    again = json.loads(capsys.readouterr().out)
+    assert again["recorded"] == 0
+    assert again["already_recorded"] == 1
+
+
+def test_run_record_trace_flag(tmp_path, capsys):
+    store = str(tmp_path / "traces")
+    code = main([
+        "run", "--device", "nexus5", "--resolution", "240p", "--fps", "30",
+        "--duration", "5", "--record-trace", store, "--no-cache", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    # The traced run reports the same session the untraced path would.
+    assert payload["frames_processed"] == 150
+    from repro.trace.store import TraceStore
+
+    assert len(TraceStore(store).keys()) == 1

@@ -1,0 +1,234 @@
+"""Tests for the columnar trace store: roundtrip fidelity, content
+addressing, quarantine, and parallel-replay determinism."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import Scheduler, ThreadState, make_cores
+from repro.sim import Simulator, millis
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import (
+    analyze_store,
+    analyze_view,
+    record_session_trace,
+    record_traces,
+)
+from repro.trace.store import (
+    TRACE_SCHEMA_VERSION,
+    TraceFormatError,
+    TraceStore,
+    iter_traces,
+    load_trace,
+    save_trace,
+    trace_digest,
+    trace_key,
+)
+
+
+def synthetic_trace(seed=9, n_threads=3, until_ms=20):
+    """A small but event-rich recorder built from the raw scheduler."""
+    sim = Simulator(seed=seed)
+    sched = Scheduler(sim, make_cores([1.0]))
+    recorder = TraceRecorder(sim)
+    for index in range(n_threads):
+        thread = sched.spawn(f"worker-{index}")
+        thread.post(millis(2) * (index + 1))
+    sim.run(until=millis(until_ms))
+    recorder.detach()
+    return recorder
+
+
+# ----------------------------------------------------------------------
+# Roundtrip: save -> load must preserve every event bit-for-bit
+# ----------------------------------------------------------------------
+
+def test_roundtrip_digest_identical(tmp_path):
+    recorder = synthetic_trace()
+    path = save_trace(recorder, tmp_path / "t.trace.npz")
+    replay = load_trace(path)
+    assert trace_digest(replay) == trace_digest(recorder)
+
+
+def test_roundtrip_native_types(tmp_path):
+    recorder = synthetic_trace()
+    replay = load_trace(save_trace(recorder, tmp_path / "t.trace.npz"))
+    for events in replay.transitions.values():
+        for time, state in events:
+            assert type(time) is int
+            assert isinstance(state, ThreadState)
+    for time, victim, victor, core in replay.preemptions:
+        assert type(time) is int and type(core) is int
+        assert isinstance(victim, str) and isinstance(victor, str)
+    for samples in replay.counters.values():
+        for time, value in samples:
+            assert type(time) is int and type(value) is float
+
+
+def test_roundtrip_analysis_identical_on_session(tmp_path):
+    from repro.experiments.parallel import SessionSpec
+
+    spec = SessionSpec(
+        device="nexus5", resolution="480p", fps=30,
+        pressure="moderate", client=None, duration_s=3.0, seed=11,
+    )
+    _result, recorder = record_session_trace(spec)
+    replay = load_trace(save_trace(recorder, tmp_path / "s.trace.npz"))
+    live = analyze_view(recorder)
+    replayed = analyze_view(replay)
+    assert replayed == live
+    assert replayed.digest() == live.digest()
+
+
+def test_save_trace_is_atomic(tmp_path):
+    recorder = synthetic_trace()
+    save_trace(recorder, tmp_path / "t.trace.npz")
+    leftovers = [
+        p for p in tmp_path.iterdir() if p.name != "t.trace.npz"
+    ]
+    assert leftovers == []
+
+
+def test_meta_round_trips(tmp_path):
+    recorder = synthetic_trace()
+    path = save_trace(
+        recorder, tmp_path / "t.trace.npz", meta={"device": "nexus5"}
+    )
+    assert load_trace(path).meta == {"device": "nexus5"}
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_threads=st.integers(min_value=1, max_value=5),
+    until_ms=st.integers(min_value=1, max_value=40),
+)
+def test_roundtrip_property(tmp_path_factory, seed, n_threads, until_ms):
+    recorder = synthetic_trace(seed, n_threads, until_ms)
+    tmp = tmp_path_factory.mktemp("traces")
+    replay = load_trace(save_trace(recorder, tmp / "t.trace.npz"))
+    assert trace_digest(replay) == trace_digest(recorder)
+    assert analyze_view(replay) == analyze_view(recorder)
+
+
+# ----------------------------------------------------------------------
+# Format guards
+# ----------------------------------------------------------------------
+
+def test_load_rejects_truncated_file(tmp_path):
+    recorder = synthetic_trace()
+    path = save_trace(recorder, tmp_path / "t.trace.npz")
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "junk.trace.npz"
+    path.write_bytes(b"not an npz at all")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_load_rejects_wrong_schema_version(tmp_path):
+    recorder = synthetic_trace()
+    path = save_trace(recorder, tmp_path / "t.trace.npz")
+    with np.load(path) as data:
+        columns = dict(data)
+    columns["format"] = np.array([TRACE_SCHEMA_VERSION + 1])
+    np.savez_compressed(path, **columns)
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_iter_traces_skips_corrupt(tmp_path):
+    save_trace(synthetic_trace(seed=1), tmp_path / "a.trace.npz")
+    (tmp_path / "b.trace.npz").write_bytes(b"garbage")
+    with pytest.warns(RuntimeWarning):
+        found = list(iter_traces(tmp_path))
+    assert [p.name for p, _ in found] == ["a.trace.npz"]
+
+
+# ----------------------------------------------------------------------
+# TraceStore: content addressing and quarantine
+# ----------------------------------------------------------------------
+
+def test_store_save_load_contains(tmp_path):
+    store = TraceStore(tmp_path)
+    key = trace_key("deadbeef" * 8)
+    assert not store.contains(key)
+    store.save(key, synthetic_trace())
+    assert store.contains(key)
+    assert store.keys() == [key]
+    assert store.load(key) is not None
+
+
+def test_store_quarantines_corrupt_entry(tmp_path):
+    store = TraceStore(tmp_path)
+    key = trace_key("deadbeef" * 8)
+    store.save(key, synthetic_trace())
+    store.path_for(key).write_bytes(b"garbage")
+    with pytest.warns(RuntimeWarning):
+        assert store.load(key) is None
+    assert store.quarantined == 1
+    assert not store.contains(key)
+    quarantine = tmp_path / "quarantine"
+    assert any(quarantine.iterdir())
+
+
+def test_trace_key_depends_on_schema_and_session():
+    key = trace_key("a" * 64)
+    assert key != trace_key("b" * 64)
+    assert len(key) == 64
+    payload = json.dumps(
+        {"session": "a" * 64, "trace_schema": TRACE_SCHEMA_VERSION},
+        sort_keys=True, separators=(",", ":"),
+    )
+    import hashlib
+
+    assert key == hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Parallel replay determinism
+# ----------------------------------------------------------------------
+
+def _record_pair(store):
+    from repro.experiments.parallel import SessionSpec
+
+    specs = [
+        SessionSpec(
+            device="nexus5", resolution="480p", fps=30,
+            pressure=pressure, client=None, duration_s=2.0, seed=5,
+        )
+        for pressure in ("moderate", "critical")
+    ]
+    record_traces(specs, store, jobs=1, cache=False)
+    return specs
+
+
+def test_analyze_store_jobs_byte_identity(tmp_path):
+    store = TraceStore(tmp_path)
+    _record_pair(store)
+    serial = analyze_store(store, jobs=1)
+    parallel = analyze_store(store, jobs=4)
+    assert list(serial) == list(parallel)
+    for key in serial:
+        assert serial[key].digest() == parallel[key].digest()
+
+
+def test_record_traces_skips_existing(tmp_path):
+    from repro.experiments.parallel import FabricReport
+
+    store = TraceStore(tmp_path)
+    specs = _record_pair(store)
+    report = FabricReport()
+    results = record_traces(
+        specs, store, jobs=1, cache=False, report=report
+    )
+    assert report.cache_hits == len(specs)
+    assert results == [None] * len(specs)

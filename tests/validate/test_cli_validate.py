@@ -31,16 +31,20 @@ def isolated_dirs(tmp_path, monkeypatch):
 def test_update_then_check_round_trip(isolated_dirs, capsys):
     assert cli.main(["validate", "--update-golden", "--jobs", "2"]) == 0
     out = capsys.readouterr().out
-    assert out.count("rewritten") == len(CANONICAL_SESSIONS)
+    # One session golden plus one trace golden per canonical session.
+    assert out.count("rewritten") == 2 * len(CANONICAL_SESSIONS)
     assert "validation PASSED" in out
     for name in CANONICAL_SESSIONS:
         assert (isolated_dirs / f"{name}.json").exists()
+        assert (isolated_dirs / f"trace_{name}.json").exists()
 
     assert cli.main(["validate", "--json", "--jobs", "2"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["passed"] is True
     assert payload["level"] == "basic"
-    assert set(payload["golden"]) == set(CANONICAL_SESSIONS)
+    assert set(payload["golden"]) == set(CANONICAL_SESSIONS) | {
+        f"trace:{name}" for name in CANONICAL_SESSIONS
+    }
     assert all(not problems for problems in payload["golden"].values())
     assert all(not v for v in payload["violations"].values())
     assert [o["passed"] for o in payload["oracles"]] == [True, True, True]
