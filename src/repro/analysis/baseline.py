@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..storage import publish_bytes
 from .engine import Finding
 
 BASELINE_VERSION = 1
@@ -90,8 +91,12 @@ def _write_entries(entries: List[Dict[str, Any]], path: Path) -> None:
         ),
         "findings": sorted(entries, key=lambda e: str(e["fingerprint"])),
     }
-    path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    # Atomic publish, no sidecar: the baseline is a committed repo file
+    # whose integrity is git's job; atomicity just keeps a Ctrl-C during
+    # --update-baseline from leaving a half-written file.
+    publish_bytes(
+        path,
+        (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8"),
     )
 
 

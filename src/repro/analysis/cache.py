@@ -17,8 +17,18 @@ whole target set, and recomputing them from cached facts is cheap.
 The entry key mixes in :data:`CACHE_VERSION` (bumped whenever rule
 logic or the facts schema changes shape) and the rule-id list, so stale
 formats and ``--rules`` subsets can never alias each other.  Entries
-are one JSON file each under the cache directory; corrupt or
-unreadable entries behave as misses.
+are one JSON file each, published atomically through
+:mod:`repro.storage` with an **embedded** checksum envelope (JSON can
+carry its own header, so no sidecar file per entry)::
+
+    {"envelope": {"envelope": 1, "kind": "analysis-cache",
+                  "schema": "v1", "sha256": "<record digest>"},
+     "record": {...}}
+
+A corrupt, torn, or pre-envelope entry is quarantined (moved to
+``<cache dir>/quarantine/``, never deleted) and treated as a miss; a
+read-only or full cache directory degrades to uncached operation,
+counted in the store's :class:`~repro.storage.StorageReport`.
 """
 
 from __future__ import annotations
@@ -28,11 +38,24 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
+from ..storage import (
+    ENVELOPE_VERSION,
+    Quarantine,
+    StorageReport,
+    is_readonly_error,
+    publish_bytes,
+    sha256_hex,
+)
+
 #: Bump when rule logic, the facts schema, or the record layout changes.
 CACHE_VERSION = 1
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = Path(".lint-cache")
+
+#: Envelope identity of analysis-cache entries.
+ENVELOPE_KIND = "analysis-cache"
+ENVELOPE_SCHEMA = f"v{CACHE_VERSION}"
 
 
 def content_digest(data: bytes) -> str:
@@ -45,6 +68,11 @@ def entry_key(digest: str, rule_ids: Sequence[str]) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def _record_digest(record: Dict[str, Any]) -> str:
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return sha256_hex(canonical.encode("utf-8"))
+
+
 class AnalysisCache:
     """Directory of ``<key>.json`` analysis records."""
 
@@ -52,31 +80,71 @@ class AnalysisCache:
         self.directory = directory
         self.hits = 0
         self.misses = 0
+        self.report = StorageReport()
+        self._q = Quarantine(
+            directory, label=f"analysis-cache at {directory}",
+            report=self.report,
+        )
+        self._disabled = False
 
     def _entry_path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
     def load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._entry_path(key)
         try:
-            text = self._entry_path(key).read_text(encoding="utf-8")
-            record = json.loads(text)
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
             self.misses += 1
             return None
-        if not isinstance(record, dict):
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("entry is not a JSON object")
+            envelope = payload["envelope"]
+            record = payload["record"]
+            if (
+                not isinstance(envelope, dict)
+                or not isinstance(record, dict)
+                or envelope.get("envelope") != ENVELOPE_VERSION
+                or envelope.get("schema") != ENVELOPE_SCHEMA
+            ):
+                raise ValueError("missing or stale embedded envelope")
+            if envelope.get("sha256") != _record_digest(record):
+                raise ValueError("record checksum mismatch")
+        except (KeyError, ValueError) as exc:
+            # Garbled, torn, or pre-envelope entry: quarantine it (a
+            # corruption bug stays inspectable) and recompute.
+            self._q.take(path, str(exc))
             self.misses += 1
             return None
+        self.report.verified += 1
         self.hits += 1
         return record
 
     def store(self, key: str, record: Dict[str, Any]) -> None:
+        if self._disabled:
+            return
+        payload = {
+            "envelope": {
+                "envelope": ENVELOPE_VERSION,
+                "kind": ENVELOPE_KIND,
+                "schema": ENVELOPE_SCHEMA,
+                "sha256": _record_digest(record),
+            },
+            "record": record,
+        }
         try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            path = self._entry_path(key)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(
-                json.dumps(record, sort_keys=True), encoding="utf-8"
+            publish_bytes(
+                self._entry_path(key),
+                json.dumps(payload, sort_keys=True).encode("utf-8"),
+                surface=ENVELOPE_KIND,
+                report=self.report,
             )
-            tmp.replace(path)
-        except OSError:
-            pass  # a read-only or full disk degrades to uncached
+        except OSError as exc:
+            # A read-only or full disk degrades to uncached operation;
+            # the atomic writer guarantees nothing partial was left.
+            self.report.publish_errors += 1
+            if is_readonly_error(exc):
+                self._disabled = True
+                self.report.readonly_fallbacks += 1

@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..storage import publish_bytes
 from .baseline import (
     DEFAULT_BASELINE,
     load_baseline,
@@ -315,7 +316,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if sarif_to_stdout:
             print(sarif_payload)
         else:
-            args.sarif.write_text(sarif_payload + "\n", encoding="utf-8")
+            publish_bytes(args.sarif, (sarif_payload + "\n").encode("utf-8"))
     if not sarif_to_stdout:
         if args.json:
             print(json.dumps(render_json(result), indent=2, sort_keys=True))

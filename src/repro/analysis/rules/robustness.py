@@ -12,6 +12,8 @@ REP109    bare ``except:`` or a handler that silently swallows the
           exception (body is only ``pass``/``...``/``continue``)
 REP110    ad-hoc ABR controller instantiation in ``experiments/``
           (bypasses the arena policy registry)
+REP111    direct write-mode ``open()``/``write_bytes``/``write_text``
+          in a persistence scope (bypasses ``repro.storage``)
 ========  ==========================================================
 
 Deliberate suppression is still expressible — and greppable as policy:
@@ -33,7 +35,7 @@ are flagged — and a deliberate exception carries
 from __future__ import annotations
 
 import ast
-from typing import FrozenSet, Iterable, Tuple
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from ..engine import Finding, Rule, SourceFile
 
@@ -150,4 +152,116 @@ class AdHocPolicyRule(Rule):
         return ""
 
 
-ROBUSTNESS_RULES: Tuple[type, ...] = (SwallowedExceptionRule, AdHocPolicyRule)
+#: Packages whose on-disk artifacts must go through :mod:`repro.storage`
+#: (atomic publish + checksum envelope).  ``storage`` itself and the
+#: fault/chaos layers are deliberately out of scope: storage *is* the
+#: publish path, and chaos writes throwaway scratch files.
+PERSISTENCE_SCOPE: FrozenSet[str] = frozenset({
+    "experiments", "trace", "analysis", "study", "arena",
+})
+
+#: Stdlib modules whose ``open``-like callables take ``(path, mode)``.
+_OPENER_MODULES: FrozenSet[str] = frozenset({
+    "os", "io", "gzip", "bz2", "lzma", "codecs",
+})
+
+#: Characters in a mode string that mean the handle can mutate the file.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+class DirectArtifactWriteRule(Rule):
+    """REP111: artifact writes that bypass the durability layer."""
+
+    id = "REP111"
+    title = "direct artifact write bypasses repro.storage"
+    rationale = (
+        "Every persisted artifact in the persistence scopes must go "
+        "through repro.storage (publish_via/publish_bytes + envelope "
+        "sidecars): a bare open('w')/write_bytes/write_text publish is "
+        "non-atomic (a crash leaves a torn file the next run trusts), "
+        "unfsynced, and invisible to `repro fsck`.  Route the write "
+        "through the storage layer, or carry # repro: noqa[REP111] "
+        "with a comment explaining why durability does not apply."
+    )
+    scope = PERSISTENCE_SCOPE
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "write_bytes", "write_text"
+            ):
+                yield self.finding(
+                    src, node,
+                    f"`.{func.attr}(...)` publishes an artifact "
+                    "non-atomically — use repro.storage.publish_bytes "
+                    "(atomic tmp+fsync+rename, checksum envelope)",
+                )
+                continue
+            mode = self._write_mode(node)
+            if mode is not None:
+                yield self.finding(
+                    src, node,
+                    f"write-mode open ({mode!r}) publishes an artifact "
+                    "non-atomically — use repro.storage.publish_via / "
+                    "open_journal so a crash cannot leave a torn file",
+                )
+
+    @classmethod
+    def _write_mode(cls, node: ast.Call) -> Optional[str]:
+        """The write-capable mode string of an open-style call, or None.
+
+        Recognizes ``open(p, "w")``, ``gzip.open(p, "wb")`` (and the
+        other :data:`_OPENER_MODULES`), ``os.fdopen(fd, "w")``, and
+        method-style ``path.open("w")``.  A non-literal mode is skipped:
+        the rule stays precise rather than guessing.
+        """
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id != "open":
+                return None
+            mode_index = 1
+        elif isinstance(func, ast.Attribute):
+            is_module_opener = (
+                isinstance(func.value, ast.Name)
+                and func.value.id in _OPENER_MODULES
+                and func.attr in ("open", "fdopen")
+            )
+            if is_module_opener:
+                mode_index = 1
+            elif func.attr == "open":
+                mode_index = 0  # pathlib-style: path.open("w")
+            else:
+                return None
+        else:
+            return None
+        mode = cls._mode_argument(node, mode_index)
+        if mode is not None and _WRITE_MODE_CHARS & set(mode):
+            return mode
+        return None
+
+    @staticmethod
+    def _mode_argument(node: ast.Call, index: int) -> Optional[str]:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                value = keyword.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    return value.value
+                return None
+        if len(node.args) > index:
+            value = node.args[index]
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                return value.value
+        return None
+
+
+ROBUSTNESS_RULES: Tuple[type, ...] = (
+    SwallowedExceptionRule, AdHocPolicyRule, DirectArtifactWriteRule,
+)

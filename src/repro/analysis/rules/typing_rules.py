@@ -24,7 +24,7 @@ from ..engine import Finding, Rule, SourceFile
 
 #: Packages held to mypy --strict.
 TYPED_SCOPE: FrozenSet[str] = frozenset(
-    {"sim", "validate", "experiments", "arena", "study", "trace"}
+    {"sim", "validate", "experiments", "arena", "study", "trace", "storage"}
 )
 
 _BARE_IGNORE_RE = re.compile(r"#\s*type:\s*ignore(?!\[)")

@@ -16,8 +16,9 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..storage import StorageReport, publish_bytes, write_sidecar
 from .driver import ARENA_SCHEMA_VERSION, ArenaConfig, ArenaRecord
 from .policies import get_policy
 from .scoring import OBJECTIVES
@@ -168,17 +169,42 @@ def render_table(leaderboard: Dict[str, object]) -> str:
 
 
 def write_artifact(
-    leaderboard: Dict[str, object], out_dir: Path | str
+    leaderboard: Dict[str, object],
+    out_dir: Path | str,
+    *,
+    report: Optional[StorageReport] = None,
 ) -> Tuple[Path, Path]:
     """Write ``leaderboard-<digest16>.json`` and its rendered ``.txt``
     into ``out_dir``; returns the two paths.  Content-addressed names
     mean re-running the same configuration overwrites the same files
-    with the same bytes, and different configurations never collide."""
+    with the same bytes, and different configurations never collide.
+
+    Both files go through the atomic publish discipline: a crash
+    mid-write can no longer leave a half-written artifact whose
+    filename claims a digest it doesn't hash to.  The JSON carries a
+    checksum envelope sidecar on top of its embedded self-digest, so
+    ``repro fsck`` can verify a published leaderboard without knowing
+    the arena payload format.
+    """
     out = Path(out_dir)
-    out.mkdir(parents=True, exist_ok=True)
     stem = f"leaderboard-{str(leaderboard['digest'])[:16]}"
     json_path = out / f"{stem}.json"
     txt_path = out / f"{stem}.txt"
-    json_path.write_bytes(artifact_bytes(leaderboard))
-    txt_path.write_text(render_table(leaderboard), encoding="utf-8")
+    data = artifact_bytes(leaderboard)
+    digest = publish_bytes(
+        json_path, data, surface="leaderboard", report=report
+    )
+    write_sidecar(
+        json_path,
+        kind="arena-leaderboard",
+        schema=f"v{ARENA_SCHEMA_VERSION}",
+        digest=digest,
+        size=len(data),
+    )
+    publish_bytes(
+        txt_path,
+        render_table(leaderboard).encode("utf-8"),
+        surface="leaderboard",
+        report=report,
+    )
     return json_path, txt_path

@@ -11,7 +11,8 @@ The subcommands mirror the library's main entry points::
     repro trace ls
     repro validate --level deep
     repro lint     src/repro --json
-    repro chaos    --scenarios kill,interrupt
+    repro chaos    --scenarios kill,interrupt,storage-torn
+    repro fsck     --root ~/.cache/repro/sessions --json
     repro arena    --policies buffer,pressure,hybrid --jobs 4
 
 Every subcommand prints a human-readable report by default; ``--json``
@@ -590,6 +591,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all_passed else 1
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .storage import default_roots, scrub
+
+    if args.root:
+        roots = [Path(root) for root in args.root]
+        missing = [root for root in roots if not root.is_dir()]
+        if missing:
+            names = ", ".join(str(root) for root in missing)
+            print(f"fsck: no such store root: {names}", file=sys.stderr)
+            return 2
+    else:
+        roots = default_roots()
+    report = scrub(roots, repair=args.repair)
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return report.exit_code
+
+
 def cmd_arena(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -902,7 +925,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_p.add_argument("--scenarios", default=None,
                          help="comma-separated subset of "
-                              "kill,stall,error,corrupt,interrupt "
+                              "kill,stall,error,corrupt,interrupt,"
+                              "storage-torn,storage-crash,storage-bitrot,"
+                              "storage-enospc,storage-readonly "
                               "(default: all)")
     chaos_p.add_argument("--jobs", type=int, default=2,
                          help="worker processes for the faulted runs "
@@ -913,6 +938,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated seconds per session job")
     chaos_p.add_argument("--json", action="store_true")
     chaos_p.set_defaults(func=cmd_chaos)
+
+    fsck_p = sub.add_parser(
+        "fsck",
+        help="scrub the on-disk stores: checksums, schema versions, "
+             "orphaned tmp files, quarantine (see docs/robustness.md)",
+    )
+    fsck_p.add_argument("--root", action="append", default=None,
+                        metavar="DIR",
+                        help="store root to scrub (repeatable; default: "
+                             "the result cache and trace store)")
+    fsck_p.add_argument("--repair", action="store_true",
+                        help="prune orphaned tmp files and dangling "
+                             "sidecars, derive envelopes for legacy "
+                             "artifacts")
+    fsck_p.add_argument("--json", action="store_true")
+    fsck_p.set_defaults(func=cmd_fsck)
 
     arena_p = sub.add_parser(
         "arena",

@@ -12,18 +12,24 @@ fully determines its result.
 Format (documented in ``docs/robustness.md``): a line-oriented JSON
 file.  The first line is a header::
 
-    {"journal": "repro-sweep", "version": 1, "schema": <SCHEMA_VERSION>}
+    {"journal": "repro-sweep", "version": 2, "schema": <SCHEMA_VERSION>}
 
 and every subsequent line is one completed job::
 
-    {"key": "<sha256 spec digest>", "result": "<base64 pickle>"}
+    {"key": "<sha256 spec digest>", "result": "<base64 pickle>", "crc": "<crc32>"}
 
 Appends are flushed per record, so a crash loses at most the record
-being written; a truncated or corrupt tail line is counted in
-:attr:`SweepJournal.skipped` and otherwise ignored on load.  A journal
-whose header names a different :data:`~repro.experiments.parallel.SCHEMA_VERSION`
-is stale (results would no longer be comparable) and is discarded
-wholesale.
+being written; the header and the final state are additionally fsynced
+(open and close are the two moments an OS crash could otherwise lose
+acknowledged work wholesale).  The per-record CRC-32 — computed over
+``key + "\\x00" + result`` — is what makes truncated-tail detection
+exact: a torn line either fails to parse or fails its CRC, is counted
+in :attr:`SweepJournal.skipped`, and resume skips exactly that record
+rather than trusting whatever happens to parse.  Version-1 journals
+(no CRC field) are still readable; their records fall back to
+parse-validation.  A journal whose header names a different
+:data:`~repro.experiments.parallel.SCHEMA_VERSION` is stale (results
+would no longer be comparable) and is discarded wholesale.
 """
 
 from __future__ import annotations
@@ -35,11 +41,16 @@ import pickle
 from pathlib import Path
 from typing import IO, Any, Dict, Optional, Sequence
 
+from ..storage import fsync_handle, open_journal, record_crc
 from ..video.player import SessionResult
 from .parallel import SCHEMA_VERSION, SessionSpec, cache_key, default_cache_dir
 
 JOURNAL_MAGIC = "repro-sweep"
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
+
+#: Header versions this reader accepts: v1 journals predate per-record
+#: CRCs but their records are otherwise identical.
+COMPATIBLE_JOURNAL_VERSIONS = frozenset({1, JOURNAL_VERSION})
 
 
 def sweep_digest(specs: Sequence[SessionSpec]) -> str:
@@ -109,29 +120,32 @@ class SweepJournal:
         header_ok = False
         if self.resume:
             entries, header_ok = self._load()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         if header_ok:
-            self._fh = self.path.open("a", encoding="utf-8")
+            self._fh = open_journal(self.path, fresh=False)
         else:
-            self._fh = self.path.open("w", encoding="utf-8")
+            self._fh = open_journal(self.path, fresh=True)
             header = {
                 "journal": self.magic,
                 "version": JOURNAL_VERSION,
                 "schema": self.schema,
             }
             self._fh.write(json.dumps(header, separators=(",", ":")) + "\n")
-            self._fh.flush()
+            # An OS crash after begin() must not be able to lose the
+            # header: records appended later would then parse as a
+            # headerless (= discarded) journal.
+            fsync_handle(self._fh)
         return entries
 
     def record(self, key: str, result: Any) -> None:
         """Append one completed job (flushed immediately)."""
         if self._fh is None:
-            self._fh = self.path.open("a", encoding="utf-8")
+            self._fh = open_journal(self.path, fresh=False)
         blob = base64.b64encode(
             pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         ).decode("ascii")
         line = json.dumps(
-            {"key": key, "result": blob}, separators=(",", ":")
+            {"key": key, "result": blob, "crc": record_crc(f"{key}\x00{blob}")},
+            separators=(",", ":"),
         )
         self._fh.write(line + "\n")
         self._fh.flush()
@@ -139,6 +153,9 @@ class SweepJournal:
 
     def close(self) -> None:
         if self._fh is not None:
+            # Everything acknowledged so far becomes durable before the
+            # handle goes away — the journal's moment of truth.
+            fsync_handle(self._fh)
             self._fh.close()
             self._fh = None
 
@@ -165,7 +182,7 @@ class SweepJournal:
         if (
             not isinstance(header, dict)
             or header.get("journal") != self.magic
-            or header.get("version") != JOURNAL_VERSION
+            or header.get("version") not in COMPATIBLE_JOURNAL_VERSIONS
             or header.get("schema") != self.schema
         ):
             return entries, False
@@ -173,7 +190,15 @@ class SweepJournal:
             try:
                 record = json.loads(line)
                 key = record["key"]
-                result = pickle.loads(base64.b64decode(record["result"]))
+                blob = record["result"]
+                if "crc" in record and record["crc"] != record_crc(
+                    f"{key}\x00{blob}"
+                ):
+                    # The CRC was written with the record, so a mismatch
+                    # means the line was cut mid-append: skip exactly it.
+                    self.skipped += 1
+                    continue
+                result = pickle.loads(base64.b64decode(blob))
             except Exception:
                 # A kill mid-append leaves at most one truncated tail
                 # line; tolerate it (counted) instead of refusing the

@@ -75,6 +75,14 @@ from typing import (
 
 from ..core.session import StreamingSession
 from ..faults import active_plan
+from ..storage import (
+    Quarantine,
+    StorageReport,
+    is_readonly_error,
+    publish_bytes,
+    verified_read,
+    write_sidecar,
+)
 from ..video.encoding import VideoAsset
 from ..video.player import SessionResult
 
@@ -288,37 +296,57 @@ class ResultCache:
     """
 
     def __init__(
-        self, root: Path | str, result_type: type = SessionResult
+        self,
+        root: Path | str,
+        result_type: type = SessionResult,
+        *,
+        surface: str = "result-cache",
     ) -> None:
         self.root = Path(root)
         #: Entry payload type accepted on read.  Session sweeps use the
         #: default; other job families (e.g. arena records) pass their
         #: own so a foreign or stale entry is quarantined, not replayed.
         self.result_type = result_type
+        #: Storage fault point (``storage:<surface>``) and envelope kind.
+        self.surface = surface
+        #: Envelope schema tag: entries written under a different result
+        #: schema or payload type are quarantined on read, not replayed.
+        self.schema = f"v{SCHEMA_VERSION}/{result_type.__name__}"
         self.hits = 0
         self.misses = 0
-        self.quarantined = 0
-        self._warned_quarantine = False
+        self.report = StorageReport()
+        self._q = Quarantine(
+            self.root, label=f"{surface} at {self.root}", report=self.report
+        )
+        self._disabled = False
+
+    @property
+    def quarantined(self) -> int:
+        """Corrupt entries moved to quarantine by this cache instance."""
+        return self.report.quarantined
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[Any]:
         path = self.path_for(key)
-        try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
-        except FileNotFoundError:
+        data = verified_read(
+            path, quarantine=self._q, expected_schema=self.schema
+        )
+        if data is None:
             self.misses += 1
             return None
+        try:
+            result = pickle.loads(data)
         except Exception as exc:
-            # Corrupt, truncated, or written by an incompatible
-            # version: quarantine the entry and recompute.
-            self._quarantine(path, repr(exc))
+            # Checksum-clean (or legacy, unverifiable) bytes that still
+            # fail to unpickle were written by an incompatible version:
+            # quarantine the entry and recompute.
+            self._q.take(path, repr(exc))
             self.misses += 1
             return None
         if not isinstance(result, self.result_type):
-            self._quarantine(
+            self._q.take(
                 path,
                 f"not a {self.result_type.__name__}: {type(result).__name__}",
             )
@@ -328,34 +356,37 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: Any) -> None:
+        if self._disabled:
+            return
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         try:
-            with tmp.open("wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except OSError:
-            # Caching is an optimization; never fail the experiment
-            # over a full disk or read-only cache directory.
-            with suppress(OSError):
-                tmp.unlink()
-
-    def _quarantine(self, path: Path, why: str) -> None:
-        self.quarantined += 1
-        dest = self.root / QUARANTINE_DIR / path.name
-        with suppress(OSError):
-            dest.parent.mkdir(parents=True, exist_ok=True)
-            os.replace(path, dest)
-        if not self._warned_quarantine:
-            self._warned_quarantine = True
-            warnings.warn(
-                f"corrupt result-cache entry quarantined to {dest.parent} "
-                f"({why}); the affected job(s) will re-run "
-                "(warned once per cache)",
-                RuntimeWarning,
-                stacklevel=4,
+            digest = publish_bytes(
+                path, data, surface=self.surface, report=self.report
             )
+            write_sidecar(
+                path,
+                kind=self.surface,
+                schema=self.schema,
+                digest=digest,
+                size=len(data),
+            )
+        except OSError as exc:
+            # Caching is an optimization; never fail the experiment
+            # over a full disk or read-only cache directory.  The
+            # atomic writer guarantees the failed publish left nothing
+            # behind, so there is no partial artifact to clean up.
+            self.report.publish_errors += 1
+            if is_readonly_error(exc):
+                self._disabled = True
+                self.report.readonly_fallbacks += 1
+                warnings.warn(
+                    f"cache directory {self.root} is not writable "
+                    f"({exc}); falling back to uncached operation "
+                    "(warned once per cache)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
 
 def default_cache_dir() -> Path:
@@ -461,10 +492,12 @@ class _Heartbeat:
         if self.path is None:
             return
         self.seq += 1
-        # Heartbeats are advisory: losing one must never fail a job
-        # (the supervisor falls back to global-progress staleness).
+        # Heartbeats are advisory and ephemeral: losing (or tearing) one
+        # must never fail a job — the supervisor falls back to global-
+        # progress staleness — so they are exempt from the durable
+        # publish discipline.
         with suppress(OSError):
-            self.path.write_text(f"{self.seq}:{state}")
+            self.path.write_text(f"{self.seq}:{state}")  # repro: noqa[REP111]
 
 
 #: A job runner: any picklable module-level callable taking one payload.

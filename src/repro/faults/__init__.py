@@ -8,21 +8,27 @@ See :mod:`repro.faults.injector` for the fault-point machinery,
 from .injector import (
     FAULT_KINDS,
     PLAN_ENV,
+    STORAGE_KINDS,
     Fault,
     FaultPlan,
     FaultPlanError,
+    InjectedCrash,
     InjectedFault,
     active_plan,
+    claim_storage_fault,
     installed_plan,
 )
 
 __all__ = [
     "FAULT_KINDS",
     "PLAN_ENV",
+    "STORAGE_KINDS",
     "Fault",
     "FaultPlan",
     "FaultPlanError",
+    "InjectedCrash",
     "InjectedFault",
     "active_plan",
+    "claim_storage_fault",
     "installed_plan",
 ]

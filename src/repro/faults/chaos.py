@@ -29,6 +29,32 @@ Scenarios (``repro chaos --scenarios ...``):
     a Ctrl-C lands mid-sweep; in-flight work drains to the checkpoint
     journal, and a ``--resume`` run reproduces the same digests without
     re-running completed jobs.
+
+The ``storage-*`` family exercises the durability layer itself: each
+scenario arms one storage fault at the result cache's publish point
+(``storage:result-cache``), runs the sweep, then runs it again against
+the damaged store with no plan installed.  The acceptance property is
+three-fold: the recovery run's results are bit-identical to the
+fault-free baseline, the store's degradation counters show the expected
+recovery path (quarantine + recompute, or plain recompute), and a
+post-recovery ``repro fsck`` scrub of the store reports **zero**
+integrity findings — recovery converges to a provably clean store.
+
+``storage-torn``
+    a publish loses its tail after the rename; the envelope checksum
+    catches it, the entry is quarantined and recomputed.
+``storage-crash``
+    the writer dies between staging and ``os.replace``; the artifact
+    never appears, the orphaned tmp file is swept on republish.
+``storage-bitrot``
+    one byte of a published artifact flips; checksum-verified reads
+    quarantine and recompute it.
+``storage-enospc``
+    a publish fails on a full disk; nothing partial is left behind and
+    the job's result is simply recomputed next run.
+``storage-readonly``
+    the cache directory rejects writes; the store degrades to uncached
+    operation with a single warning and the sweep still completes.
 """
 
 from __future__ import annotations
@@ -53,11 +79,24 @@ from ..experiments.parallel import (
     run_sessions,
 )
 from ..experiments.runner import cell_specs
+from ..storage import scrub
 from ..video.player import SessionResult
 from .injector import Fault, installed_plan
 
+#: Storage chaos scenarios: one per storage fault kind, exercising the
+#: ``repro.storage`` publish discipline end to end.
+STORAGE_SCENARIOS = (
+    "storage-torn",
+    "storage-crash",
+    "storage-bitrot",
+    "storage-enospc",
+    "storage-readonly",
+)
+
 #: Scenario registry order (also the CLI default).
-SCENARIOS = ("kill", "stall", "error", "corrupt", "interrupt")
+SCENARIOS = (
+    "kill", "stall", "error", "corrupt", "interrupt"
+) + STORAGE_SCENARIOS
 
 
 @dataclass
@@ -326,6 +365,84 @@ class ChaosHarness:
         )
 
     # ------------------------------------------------------------------
+    def run_storage(self, kind: str) -> ScenarioOutcome:
+        """One storage-fault scenario (see module docstring).
+
+        Serial on purpose: publishes happen host-side in spec order, so
+        the exactly-once fault deterministically lands on the *first*
+        cache publish regardless of machine or worker count.
+        """
+        label = f"storage-{kind}"
+        root = self.work_dir / f"{label}-cache"
+
+        # Run 1: the sweep whose first cache publish takes the fault.
+        faulted = ResultCache(root)
+        first = FabricReport()
+        with installed_plan(
+            [Fault(point="storage:result-cache", kind=kind)],
+            self.work_dir / label,
+        ):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                run_sessions(
+                    self.specs, jobs=None, cache=faulted, report=first
+                )
+
+        # Run 2: recovery — a fresh store over the damaged directory,
+        # no plan installed.
+        store = ResultCache(root)
+        report = FabricReport()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            results = run_sessions(
+                self.specs, jobs=None, cache=store, report=report
+            )
+
+        n = len(self.specs)
+        if kind in ("torn", "bitrot"):
+            # The damaged entry is caught by its envelope checksum,
+            # quarantined, and recomputed; the other 7 replay from cache.
+            recovery_ok = (
+                store.quarantined == 1
+                and report.computed == 1
+                and report.cache_hits == n - 1
+            )
+        elif kind in ("crash", "enospc"):
+            # The faulted publish left no (visible) artifact: one plain
+            # miss, zero quarantines.
+            recovery_ok = (
+                first.computed == n
+                and faulted.report.publish_errors == 1
+                and store.quarantined == 0
+                and report.computed == 1
+                and report.cache_hits == n - 1
+            )
+        elif kind == "readonly":
+            # The store disabled itself after the first EROFS, so run 1
+            # cached nothing and run 2 recomputes everything.
+            recovery_ok = (
+                faulted.report.readonly_fallbacks == 1
+                and report.computed == n
+                and report.cache_hits == 0
+            )
+        else:  # pragma: no cover - registry and kinds move together
+            raise KeyError(f"unknown storage fault kind {kind!r}")
+
+        # The recovered store must scrub clean: no orphan tmp files, no
+        # dangling sidecars, every artifact matching its envelope.
+        fsck = scrub([root])
+        return self._verdict(
+            label, results_digest(results), report,
+            extra_ok=recovery_ok and fsck.clean,
+            extra_detail=(
+                f"publish errors {faulted.report.publish_errors}, "
+                f"quarantined {store.quarantined}, "
+                f"recomputed {report.computed}, "
+                f"fsck integrity findings {len(fsck.integrity_findings)}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
     def run(self, names: Sequence[str]) -> List[ScenarioOutcome]:
         runners = {
             "kill": self.run_kill,
@@ -334,6 +451,11 @@ class ChaosHarness:
             "corrupt": self.run_corrupt,
             "interrupt": self.run_interrupt,
         }
+        for scenario in STORAGE_SCENARIOS:
+            kind = scenario[len("storage-"):]
+            runners[scenario] = (
+                lambda fault_kind=kind: self.run_storage(fault_kind)
+            )
         outcomes: List[ScenarioOutcome] = []
         for name in names:
             if name not in runners:

@@ -19,6 +19,29 @@ names a set of **fault points** — strings such as ``job:<digest>`` or
     raise :class:`KeyboardInterrupt` (a Ctrl-C arriving mid-sweep —
     SIGINT goes to the whole process group, so workers see it too).
 
+A second family of kinds targets the *storage* layer rather than the
+process layer.  They are declared here (so plans stay one format and
+one ledger) but applied inside ``repro.storage`` at publish time, at
+points named ``storage:<surface>``:
+
+``torn``
+    the rename lands but the payload's tail was lost (truncated file
+    whose envelope checksum no longer matches);
+``crash``
+    the writer dies between staging and ``os.replace`` (orphan tmp
+    file, artifact never appears) — surfaces see :class:`InjectedCrash`;
+``bitrot``
+    one byte of the published artifact is flipped after the fact;
+``enospc``
+    the publish fails with ``ENOSPC`` (full disk), leaving nothing;
+``readonly``
+    the publish fails with ``EROFS`` (read-only directory), and the
+    store is expected to degrade to uncached operation.
+
+:meth:`FaultPlan.fire` ignores storage kinds (they are claimed through
+:func:`claim_storage_fault` instead), so a mixed plan can fault both a
+job and its cache publish without the kinds interfering.
+
 Determinism comes from two properties.  Plans are *data*: which points
 fault, and how often, is decided up front (scenario builders in
 :mod:`repro.faults.chaos` derive targets from a seed via hashlib, never
@@ -52,8 +75,14 @@ PLAN_ENV = "REPRO_FAULT_PLAN"
 
 PLAN_VERSION = 1
 
+#: Storage-layer fault kinds, applied by ``repro.storage`` during an
+#: atomic publish rather than executed at a ``fire()`` point.
+STORAGE_KINDS = frozenset({"torn", "crash", "bitrot", "enospc", "readonly"})
+
 #: The supported fault kinds (see module docstring).
-FAULT_KINDS = ("raise", "kill", "stall", "interrupt")
+FAULT_KINDS = ("raise", "kill", "stall", "interrupt") + tuple(
+    sorted(STORAGE_KINDS)
+)
 
 #: Kinds that only ever fire in a worker process: firing them in the
 #: supervising host would kill or deadlock the very layer whose
@@ -63,6 +92,15 @@ WORKER_ONLY_KINDS = frozenset({"kill", "stall"})
 
 class InjectedFault(RuntimeError):
     """The exception a ``raise``-kind fault throws at its fault point."""
+
+
+class InjectedCrash(OSError):
+    """Stand-in for a writer dying between staging and publish.
+
+    An ``OSError`` subclass on purpose: surfaces treat a publish crash
+    exactly like any other publish failure (the artifact simply never
+    appeared), which is the property the chaos scenarios verify.
+    """
 
 
 class FaultPlanError(ValueError):
@@ -144,10 +182,26 @@ class FaultPlan:
         for fault in self.faults:
             if fault.point != point:
                 continue
+            if fault.kind in STORAGE_KINDS:
+                continue
             if fault.kind in WORKER_ONLY_KINDS and os.getpid() == self.host_pid:
                 continue
             if self._claim(fault):
                 self._execute(fault)
+
+    def claim_storage(self, point: str) -> Optional[str]:
+        """Claim one armed storage fault at ``point``; returns its kind.
+
+        Uses the same exactly-once ledger as :meth:`fire`, so a storage
+        fault lands on precisely the first ``times`` publishes of its
+        surface regardless of retries or process boundaries.
+        """
+        for fault in self.faults:
+            if fault.point != point or fault.kind not in STORAGE_KINDS:
+                continue
+            if self._claim(fault):
+                return fault.kind
+        return None
 
     def fired(self, point: Optional[str] = None) -> int:
         """How many firings the ledger records (for ``point``, or all)."""
@@ -249,6 +303,21 @@ def active_plan() -> Optional[FaultPlan]:
         _loaded_plan = FaultPlan.load(Path(source)) if source else None
         _loaded_source = source
     return _loaded_plan
+
+
+def claim_storage_fault(surface: Optional[str]) -> Optional[str]:
+    """Claim a storage fault armed at ``storage:<surface>``, if any.
+
+    The hook ``repro.storage`` calls on every publish.  With no plan
+    installed (production) or no surface named, this is a dictionary
+    lookup returning ``None``.
+    """
+    if surface is None:
+        return None
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.claim_storage(f"storage:{surface}")
 
 
 def _reset_plan_cache() -> None:

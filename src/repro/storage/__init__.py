@@ -1,0 +1,83 @@
+"""Durable storage fabric: the one way artifacts reach and leave disk.
+
+Every persistence surface in the repo routes through this package:
+
+==================  ==========================================  ==================
+surface             module                                      fault point
+==================  ==========================================  ==================
+result cache        :mod:`repro.experiments.parallel`           ``storage:result-cache``
+sweep journals      :mod:`repro.experiments.checkpoint`         (append-only: CRC-checked)
+trace store         :mod:`repro.trace.store`                    ``storage:trace-store``
+analysis cache      :mod:`repro.analysis.cache`                 ``storage:analysis-cache``
+cohort exports      :mod:`repro.study.export`                   ``storage:study-export``
+arena leaderboard   :mod:`repro.arena.leaderboard`              ``storage:leaderboard``
+==================  ==========================================  ==================
+
+:mod:`repro.storage.atomic` is the publish discipline (tmp + fsync +
+``os.replace`` + directory fsync), :mod:`repro.storage.envelope` the
+checksummed sidecars and quarantine-on-mismatch reads, and
+:mod:`repro.storage.fsck` the scrubber behind ``repro fsck``.  The
+package is stdlib-only: the lint toolchain imports it on a bare
+checkout, and numpy-handling surfaces pass writer callables into
+:func:`publish_via` instead of this layer importing numpy.
+
+See the "Durable storage" section of ``docs/robustness.md``.
+"""
+
+from .atomic import (
+    READONLY_ERRNOS,
+    TMP_SUFFIX,
+    StorageReport,
+    fsync_dir,
+    fsync_handle,
+    is_readonly_error,
+    open_journal,
+    prune_stale_tmp,
+    publish_bytes,
+    publish_via,
+    record_crc,
+)
+from .envelope import (
+    ENVELOPE_VERSION,
+    QUARANTINE_DIR,
+    SIDECAR_SUFFIX,
+    Envelope,
+    IntegrityError,
+    Quarantine,
+    read_sidecar,
+    sha256_hex,
+    sidecar_path,
+    verified_read,
+    write_sidecar,
+)
+from .fsck import FsckReport, StoreFsck, default_roots, scrub, scrub_root
+
+__all__ = [
+    "ENVELOPE_VERSION",
+    "QUARANTINE_DIR",
+    "READONLY_ERRNOS",
+    "SIDECAR_SUFFIX",
+    "TMP_SUFFIX",
+    "Envelope",
+    "FsckReport",
+    "IntegrityError",
+    "Quarantine",
+    "StorageReport",
+    "StoreFsck",
+    "default_roots",
+    "fsync_dir",
+    "fsync_handle",
+    "is_readonly_error",
+    "open_journal",
+    "prune_stale_tmp",
+    "publish_bytes",
+    "publish_via",
+    "read_sidecar",
+    "record_crc",
+    "scrub",
+    "scrub_root",
+    "sha256_hex",
+    "sidecar_path",
+    "verified_read",
+    "write_sidecar",
+]

@@ -20,14 +20,14 @@ disk instead of holding ~10^11 samples in RAM.
 from __future__ import annotations
 
 import gzip
+import io
 import json
-import os
-import tempfile
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator, List, Union
+from typing import IO, TYPE_CHECKING, Iterator, List, Optional, Union
 
 import numpy as np
 
+from ..storage import StorageReport, publish_via, write_sidecar
 from .signalcapturer import DeviceInfo, DeviceLog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -41,35 +41,59 @@ def save_device_log(
     path: Union[str, Path],
     sample_stride: int = 1,
 ) -> Path:
-    """Write one device's log as gzipped JSONL; returns the path."""
+    """Write one device's log as gzipped JSONL (atomic); returns the path.
+
+    Published through :mod:`repro.storage` with a checksum envelope
+    sidecar, and gzipped with a zeroed mtime so identical logs produce
+    identical bytes (the sidecar digest is then reproducible too).
+    """
     if sample_stride < 1:
         raise ValueError("sample_stride must be >= 1")
     path = Path(path)
-    with gzip.open(path, "wt", encoding="utf-8") as fh:
-        header = {
-            "type": "meta",
-            "version": FORMAT_VERSION,
-            "device_id": log.info.device_id,
-            "manufacturer": log.info.manufacturer,
-            "total_mb": log.info.total_mb,
-            "android_version": log.info.android_version,
-            "n_cores": log.info.n_cores,
-            "n_samples": len(log.timestamps),
-            "sample_stride": sample_stride,
-        }
-        fh.write(json.dumps(header) + "\n")
-        for i in range(0, len(log.timestamps), sample_stride):
-            record = {
-                "type": "sample",
-                "t": int(log.timestamps[i]),
-                "avail_mb": round(float(log.available_mb[i]), 2),
-                "state": int(log.state[i]),
-                "interactive": bool(log.interactive[i]),
-                "services": int(log.n_services[i]),
+
+    def fill(raw: IO[bytes]) -> None:
+        with gzip.GzipFile(
+            fileobj=raw, mode="wb", filename="", mtime=0
+        ) as gz:
+            fh = io.TextIOWrapper(gz, encoding="utf-8")
+            header = {
+                "type": "meta",
+                "version": FORMAT_VERSION,
+                "device_id": log.info.device_id,
+                "manufacturer": log.info.manufacturer,
+                "total_mb": log.info.total_mb,
+                "android_version": log.info.android_version,
+                "n_cores": log.info.n_cores,
+                "n_samples": len(log.timestamps),
+                "sample_stride": sample_stride,
             }
-            fh.write(json.dumps(record) + "\n")
-        for t, code in log.signals:
-            fh.write(json.dumps({"type": "signal", "t": t, "state": code}) + "\n")
+            fh.write(json.dumps(header) + "\n")
+            for i in range(0, len(log.timestamps), sample_stride):
+                record = {
+                    "type": "sample",
+                    "t": int(log.timestamps[i]),
+                    "avail_mb": round(float(log.available_mb[i]), 2),
+                    "state": int(log.state[i]),
+                    "interactive": bool(log.interactive[i]),
+                    "services": int(log.n_services[i]),
+                }
+                fh.write(json.dumps(record) + "\n")
+            for t, code in log.signals:
+                fh.write(
+                    json.dumps({"type": "signal", "t": t, "state": code})
+                    + "\n"
+                )
+            fh.flush()
+            fh.detach()
+
+    digest = publish_via(path, fill, surface="study-export")
+    write_sidecar(
+        path,
+        kind="study-export",
+        schema=f"v{FORMAT_VERSION}/device-log",
+        digest=digest,
+        size=path.stat().st_size,
+    )
     return path
 
 
@@ -164,34 +188,37 @@ _COLUMN_FIELDS = (
 
 
 def save_cohort_columns(
-    columns: "CohortColumns", path: Union[str, Path]
+    columns: "CohortColumns",
+    path: Union[str, Path],
+    *,
+    report: Optional[StorageReport] = None,
 ) -> Path:
     """Write one cohort's columns as compressed npz (atomic).
 
     The layout mirrors :class:`~repro.study.cohort.CohortColumns`
     exactly (struct-of-arrays, flat per-device prefixes addressed by
-    ``offsets``) plus a format stamp.  The file is staged in the
-    destination directory and moved into place with ``os.replace``, so
-    a killed worker never leaves a half-written cohort file for
-    ``--resume`` to trip over.
+    ``offsets``) plus a format stamp.  Published through
+    :mod:`repro.storage` — staged, fsynced, renamed into place, and
+    described by a checksum envelope sidecar — so a killed worker never
+    leaves a half-written cohort file for ``--resume`` to trip over,
+    and a torn or bit-rotted shard is caught by ``repro fsck`` instead
+    of silently skewing the reanalysis.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     arrays = {name: getattr(columns, name) for name in _COLUMN_FIELDS}
     arrays["format"] = np.array([COHORT_FORMAT_VERSION], dtype=np.int64)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
+
+    def fill(fh: IO[bytes]) -> None:
+        np.savez_compressed(fh, **arrays)
+
+    digest = publish_via(path, fill, surface="study-export", report=report)
+    write_sidecar(
+        path,
+        kind="study-export",
+        schema=f"v{COHORT_FORMAT_VERSION}/cohort-columns",
+        digest=digest,
+        size=path.stat().st_size,
     )
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            np.savez_compressed(fh, **arrays)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
     return path
 
 

@@ -36,17 +36,24 @@ Format (schema-versioned; a mismatch on load is an error, not a guess):
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
-import tempfile
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import IO, Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..sched.states import ThreadState
 from ..sim.clock import Time
+from ..storage import (
+    Quarantine,
+    StorageReport,
+    publish_via,
+    verified_read,
+    write_sidecar,
+)
 from .view import Preemption, TraceView, Transition
 
 #: Bump when the column layout or the event semantics change: old trace
@@ -191,34 +198,38 @@ def _columns_from_view(
     return columns
 
 
+#: Envelope schema tag stored in every trace sidecar.
+TRACE_ENVELOPE_SCHEMA = f"v{TRACE_SCHEMA_VERSION}/trace"
+
+
 def save_trace(
     view: TraceView,
     path: Union[str, Path],
     meta: Optional[Dict[str, Any]] = None,
+    *,
+    report: Optional[StorageReport] = None,
 ) -> Path:
     """Write one trace as compressed npz column groups (atomic).
 
-    The file is staged in the destination directory and moved into
-    place with ``os.replace`` (the cohort exporter's discipline), so a
-    killed recorder never leaves a half-written trace for replay — a
-    partial write is either invisible or quarantined, never analyzed.
+    Publishes through :mod:`repro.storage` (tmp + fsync + ``os.replace``
+    + directory fsync), so a killed recorder never leaves a half-written
+    trace for replay, and records a checksum envelope sidecar so a torn
+    or bit-rotted trace is quarantined on read, never analyzed.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     columns = _columns_from_view(view, meta)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
+
+    def fill(fh: IO[bytes]) -> None:
+        np.savez_compressed(fh, **columns)
+
+    digest = publish_via(path, fill, surface="trace-store", report=report)
+    write_sidecar(
+        path,
+        kind="trace-store",
+        schema=TRACE_ENVELOPE_SCHEMA,
+        digest=digest,
+        size=path.stat().st_size,
     )
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            np.savez_compressed(fh, **columns)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
     return path
 
 
@@ -302,19 +313,30 @@ def load_trace(path: Union[str, Path]) -> ReplayTrace:
     :class:`TraceStore`) catch it and quarantine.
     """
     path = Path(path)
+    return _load_trace_source(path, label=str(path))
+
+
+def load_trace_bytes(data: bytes, *, label: str = "<bytes>") -> ReplayTrace:
+    """Decode an in-memory trace payload (already checksum-verified)."""
+    return _load_trace_source(io.BytesIO(data), label=label)
+
+
+def _load_trace_source(
+    source: Union[Path, IO[bytes]], *, label: str
+) -> ReplayTrace:
     try:
-        with np.load(path) as data:
+        with np.load(source) as data:
             fmt = int(data["format"][0]) if "format" in data else -1
             if fmt != TRACE_SCHEMA_VERSION:
                 raise TraceFormatError(
-                    f"{path}: trace schema {fmt}, "
+                    f"{label}: trace schema {fmt}, "
                     f"expected {TRACE_SCHEMA_VERSION}"
                 )
             return _replay_from_columns(data)
     except TraceFormatError:
         raise
     except Exception as exc:
-        raise TraceFormatError(f"{path}: unreadable trace ({exc!r})") from exc
+        raise TraceFormatError(f"{label}: unreadable trace ({exc!r})") from exc
 
 
 def _replay_from_columns(data: Any) -> ReplayTrace:
@@ -445,8 +467,15 @@ class TraceStore:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
-        self.quarantined = 0
-        self._warned_quarantine = False
+        self.report = StorageReport()
+        self._q = Quarantine(
+            self.root, label=f"trace-store at {self.root}", report=self.report
+        )
+
+    @property
+    def quarantined(self) -> int:
+        """Corrupt traces moved to quarantine by this store instance."""
+        return self.report.quarantined
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}{TRACE_SUFFIX}"
@@ -460,16 +489,22 @@ class TraceStore:
         view: TraceView,
         meta: Optional[Dict[str, Any]] = None,
     ) -> Path:
-        return save_trace(view, self.path_for(key), meta)
+        return save_trace(view, self.path_for(key), meta, report=self.report)
 
     def load(self, key: str) -> Optional[ReplayTrace]:
         path = self.path_for(key)
-        if not path.exists():
+        data = verified_read(
+            path, quarantine=self._q, expected_schema=TRACE_ENVELOPE_SCHEMA
+        )
+        if data is None:
             return None
         try:
-            return load_trace(path)
+            return load_trace_bytes(data, label=str(path))
         except TraceFormatError as exc:
-            self._quarantine(path, str(exc))
+            # Checksum-clean (or legacy, unverifiable) bytes that still
+            # fail to decode: quarantine and treat as missing so the
+            # affected trace is re-recorded.
+            self._q.take(path, str(exc))
             return None
 
     def keys(self) -> List[str]:
@@ -487,21 +522,3 @@ class TraceStore:
             trace = self.load(key)
             if trace is not None:
                 yield key, trace
-
-    def _quarantine(self, path: Path, why: str) -> None:
-        self.quarantined += 1
-        dest = self.root / QUARANTINE_DIR / path.name
-        try:
-            dest.parent.mkdir(parents=True, exist_ok=True)
-            os.replace(path, dest)
-        except OSError:
-            pass
-        if not self._warned_quarantine:
-            self._warned_quarantine = True
-            warnings.warn(
-                f"corrupt trace quarantined to {dest.parent} ({why}); "
-                "the affected session(s) must be re-recorded "
-                "(warned once per store)",
-                RuntimeWarning,
-                stacklevel=3,
-            )

@@ -1,0 +1,51 @@
+"""Bad fixture for REP111: artifact writes that bypass repro.storage."""
+
+import gzip
+import os
+
+
+def builtin_open(path, payload):
+    with open(path, "w") as fh:  # 1: bare write-mode open
+        fh.write(payload)
+
+
+def gzip_module_open(path, blob):
+    with gzip.open(path, mode="wb") as fh:  # 2: module opener, mode kwarg
+        fh.write(blob)
+
+
+def fd_open(fd, payload):
+    with os.fdopen(fd, "w") as fh:  # 3: fdopen publishes unfsynced
+        fh.write(payload)
+
+
+def pathlib_open(path, payload):
+    with path.open("a") as fh:  # 4: method-style append still mutates
+        fh.write(payload)
+
+
+def pathlib_write_bytes(path, blob):
+    path.write_bytes(blob)  # 5: non-atomic whole-file publish
+
+
+def pathlib_write_text(path, payload):
+    path.write_text(payload)  # 6: non-atomic whole-file publish
+
+
+def good_read_mode(path):
+    with open(path, "r") as fh:  # fine: reads cannot tear an artifact
+        return fh.read()
+
+
+def good_default_read(path):
+    with path.open() as fh:  # fine: default mode is "r"
+        return fh.read()
+
+
+def good_dynamic_mode(path, mode):
+    with open(path, mode) as fh:  # fine: non-literal mode is not guessed
+        return fh
+
+def good_exempted(path, payload):
+    # Scratch file for a test double; durability deliberately waived.
+    path.write_text(payload)  # repro: noqa[REP111]

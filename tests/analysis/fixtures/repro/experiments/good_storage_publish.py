@@ -1,0 +1,17 @@
+"""Good fixture for REP111: artifacts routed through repro.storage."""
+
+from repro.storage import open_journal, publish_bytes, publish_via
+
+
+def publish_report(path, payload):
+    publish_bytes(path, payload.encode("utf-8"), surface="result-cache")
+
+
+def publish_columns(path, fill):
+    publish_via(path, fill, surface="study-export")
+
+
+def append_journal(path, line):
+    journal = open_journal(path, fresh=False)
+    journal.write(line)
+    journal.close()

@@ -1,0 +1,10 @@
+"""REP111 polices persistence scopes only — kernel/ writes are exempt."""
+
+
+def scratch_note(path, payload):
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+def scratch_bytes(path, blob):
+    path.write_bytes(blob)

@@ -26,6 +26,7 @@ def findings_for(rel_path, rule):
     ("repro/kernel/bad_poll_loop.py", "REP108", 2),
     ("repro/experiments/bad_swallow.py", "REP109", 4),
     ("repro/experiments/bad_adhoc_policy.py", "REP110", 3),
+    ("repro/experiments/bad_direct_write.py", "REP111", 6),
 ])
 def test_bad_fixture_finding_counts(rel_path, rule, expected):
     found = findings_for(rel_path, rule)
@@ -90,6 +91,28 @@ def test_adhoc_policy_rule_spares_registry_and_factories():
     assert {f.line for f in found} == {9, 10, 11}
     messages = " ".join(f.message for f in found)
     assert "build_policy" in messages
+
+
+def test_direct_write_rule_is_scoped_to_persistence_layers():
+    """kernel/ (and anything else outside the persistence scopes) may
+    write scratch files directly — REP111 must not fire there."""
+    found = findings_for("repro/kernel/direct_write_out_of_scope.py", "REP111")
+    assert found == []
+
+
+def test_direct_write_rule_spares_reads_and_storage_publishes():
+    """Read-mode opens, non-literal modes, and noqa-exempted lines in
+    the bad fixture stay clean; the storage-routed good fixture is
+    entirely clean."""
+    found = findings_for("repro/experiments/bad_direct_write.py", "REP111")
+    messages = " ".join(f.message for f in found)
+    assert "publish_bytes" in messages  # write_bytes/write_text variant
+    assert "publish_via" in messages    # write-mode open variant
+    # Everything below the last numbered violation is a clean case.
+    assert max(f.line for f in found) < 34
+    assert findings_for(
+        "repro/experiments/good_storage_publish.py", "REP111"
+    ) == []
 
 
 def test_good_fixture_is_clean():

@@ -55,7 +55,10 @@ def test_arena_out_writes_digest_named_artifact(tmp_path, capsys):
     out_dir = tmp_path / "artifacts"
     assert run_cli(SMOKE, tmp_path, ["--out", str(out_dir)]) == 0
     capsys.readouterr()
-    json_files = sorted(out_dir.glob("leaderboard-*.json"))
+    json_files = sorted(
+        p for p in out_dir.glob("leaderboard-*.json")
+        if not p.name.endswith(".env.json")  # checksum envelope sidecars
+    )
     txt_files = sorted(out_dir.glob("leaderboard-*.txt"))
     assert len(json_files) == 1 and len(txt_files) == 1
     payload = json.loads(json_files[0].read_text())

@@ -53,6 +53,35 @@ def test_interrupt_scenario(harness):
     assert outcome.fabric["resumed"] >= 1
 
 
+@pytest.mark.parametrize("kind", ["torn", "bitrot"])
+def test_storage_damage_scenarios_quarantine_and_recompute(harness, kind):
+    """A torn or bit-flipped cache artifact is caught by its envelope
+    checksum, quarantined (never trusted, never deleted), recomputed,
+    and the recovered store scrubs clean."""
+    outcome = harness.run_storage(kind)
+    assert outcome.passed, outcome.detail
+    assert "quarantined 1" in outcome.detail
+    assert "fsck integrity findings 0" in outcome.detail
+
+
+@pytest.mark.parametrize("kind", ["crash", "enospc"])
+def test_storage_lost_publish_scenarios_leave_no_partial(harness, kind):
+    """A crash mid-publish or a full disk must never expose a partial
+    artifact: the entry is simply a miss on the next run."""
+    outcome = harness.run_storage(kind)
+    assert outcome.passed, outcome.detail
+    assert "publish errors 1" in outcome.detail
+    assert "quarantined 0" in outcome.detail
+
+
+def test_storage_readonly_scenario_degrades_to_uncached(harness):
+    """EROFS on the first publish disables the store for the run; the
+    sweep still completes and a later writable run repopulates."""
+    outcome = harness.run_storage("readonly")
+    assert outcome.passed, outcome.detail
+    assert "fsck integrity findings 0" in outcome.detail
+
+
 def test_unknown_scenario_is_rejected(harness):
     with pytest.raises(KeyError, match="unknown chaos scenario"):
         harness.run(["meteor"])

@@ -80,6 +80,55 @@ def test_truncated_tail_line_is_tolerated(tmp_path):
     assert journal.skipped == 1
 
 
+def test_record_with_wrong_crc_is_skipped_on_resume(tmp_path):
+    """A record cut mid-write can still be a complete JSON line (the
+    tail of the previous buffer); the per-record CRC is what rejects
+    it.  Resume must skip exactly that record and replay the rest."""
+    specs = [_spec(seed=s) for s in (1, 2)]
+    path = tmp_path / "sweep.journal"
+    run_sessions(specs, cache=False, journal=SweepJournal(path, resume=False))
+
+    lines = path.read_text(encoding="utf-8").splitlines()
+    entry = json.loads(lines[2])
+    entry["result"] = entry["result"][: len(entry["result"]) // 2]
+    lines[2] = json.dumps(entry)  # valid JSON, stale CRC
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    journal = SweepJournal(path)
+    entries = journal.begin()
+    journal.close()
+    assert len(entries) == 1
+    assert journal.skipped == 1
+
+
+def test_v1_journal_without_crcs_still_replays(tmp_path):
+    """Pre-CRC (version 1) journals written by earlier releases resume
+    as before: their records carry no crc field and are trusted."""
+    specs = [_spec(seed=s) for s in (1, 2)]
+    path = tmp_path / "sweep.journal"
+    results = run_sessions(
+        specs, cache=False, journal=SweepJournal(path, resume=False)
+    )
+
+    lines = path.read_text(encoding="utf-8").splitlines()
+    header = json.loads(lines[0])
+    header["version"] = 1
+    downgraded = [json.dumps(header)]
+    for line in lines[1:]:
+        entry = json.loads(line)
+        entry.pop("crc", None)
+        downgraded.append(json.dumps(entry))
+    path.write_text("\n".join(downgraded) + "\n", encoding="utf-8")
+
+    journal = SweepJournal(path)
+    entries = journal.begin()
+    journal.close()
+    assert entries == {
+        cache_key(spec): result for spec, result in zip(specs, results)
+    }
+    assert journal.skipped == 0
+
+
 def test_stale_schema_journal_is_discarded(tmp_path):
     """Results journaled under a different SCHEMA_VERSION are not
     comparable; the whole journal is dropped and rewritten fresh."""
